@@ -1,0 +1,70 @@
+// Ablation: tuning kernels.
+//
+// The Adaptation Controller's kernel is the integer-adapted Nelder-Mead
+// simplex (paper §II.B).  This ablation pits it against two baselines on
+// the browsing mix:
+//
+//   random search       — uniform lattice sampling (any tuner must beat it)
+//   coordinate descent  — automated one-knob-at-a-time hand-tuning, the
+//                         strategy the paper argues cannot cope with a
+//                         coupled multi-tier system
+//
+// All kernels get the same iteration budget and the same validation pass.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ah;
+  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 150;
+  bench::banner("Ablation: tuning kernels (simplex vs baselines)",
+                "Section II.B (the Nelder-Mead kernel choice)");
+
+  struct Row {
+    const char* name;
+    harmony::TuningKernel kernel;
+  };
+  const std::vector<Row> rows{
+      {"Nelder-Mead simplex (paper)", harmony::TuningKernel::kSimplex},
+      {"coordinate descent", harmony::TuningKernel::kCoordinateDescent},
+      {"random search", harmony::TuningKernel::kRandomSearch},
+  };
+
+  common::TextTable table({"kernel", "validated WIPS", "mean WIPS (2nd half)",
+                           "stddev (2nd half)", "iters to 90% of gain"});
+  double baseline = 0.0;
+  for (const auto& row : rows) {
+    bench::StudySpec spec;
+    spec.workload = tpcw::WorkloadKind::kBrowsing;
+    spec.browsers = bench::browsers_for(tpcw::WorkloadKind::kBrowsing);
+    spec.iterations = iterations;
+    spec.session.kernel = row.kernel;
+    std::printf("running %s (%zu iterations)...\n", row.name, iterations);
+    const auto study = bench::run_study(spec);
+    baseline = study.baseline_wips;
+    const std::size_t reached = bench::iterations_to_quality(
+        study.tuning.wips_series, study.baseline_wips,
+        study.tuning.validated_wips);
+    table.add_row(
+        {row.name, common::TextTable::num(study.tuning.validated_wips, 1),
+         common::TextTable::num(
+             study.tuning.mean_wips(iterations / 2, iterations), 1),
+         common::TextTable::num(
+             study.tuning.stddev_wips(iterations / 2, iterations), 1),
+         reached >= iterations ? "> " + std::to_string(iterations)
+                               : std::to_string(reached)});
+    bench::write_series_csv(std::string("kernels_") + row.name,
+                            study.tuning.wips_series);
+  }
+  table.render(std::cout);
+  std::printf("\n(default configuration baseline: %.1f WIPS)\n", baseline);
+  std::printf(
+      "\nExpected shape: the simplex reaches the highest validated WIPS;\n"
+      "random search wastes most iterations on poor configurations (low\n"
+      "mean, high deviation); coordinate descent improves steadily but is\n"
+      "slower to combine knobs that must move together (threads + accept\n"
+      "queue + DB buffers).\n");
+  return 0;
+}

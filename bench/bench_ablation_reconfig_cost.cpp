@@ -1,0 +1,102 @@
+// Ablation: the Eq. 1 reconfiguration cost model.
+//
+//   F + N_k * M_km - N_k * A_k          (paper Section IV, Equation 1)
+//
+// Part 1 sweeps the donor's job count and prints the decision boundary
+// between "reconfigure immediately" (migrate jobs to a same-tier
+// neighbour) and "wait for drain".  Part 2 measures the throughput dip of
+// both execution styles on the live system, demonstrating why the model
+// prefers immediate migration exactly when Eq. 1 is non-positive.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/reconfig_controller.hpp"
+#include "harmony/reconfig.hpp"
+
+namespace {
+
+using namespace ah;
+
+double settle_and_measure(core::Experiment& experiment, int iterations) {
+  common::RunningStats stats;
+  for (int i = 0; i < iterations; ++i) {
+    stats.add(experiment.run_iteration().wips);
+  }
+  return stats.mean();
+}
+
+double run_move_style(bool immediate, std::vector<double>* dip_series) {
+  sim::Simulator sim;
+  core::SystemModel::Config config;
+  config.lines = {core::SystemModel::LineSpec{4, 2, 3}};
+  core::SystemModel system(sim, config);
+  core::Experiment::Config experiment_config;
+  experiment_config.browsers = 2 * bench::kBrowsersPerLine;
+  experiment_config.workload = tpcw::WorkloadKind::kOrdering;
+  core::Experiment experiment(system, experiment_config);
+  for (int i = 0; i < 6; ++i) experiment.run_iteration();
+
+  const auto donor =
+      system.cluster().tier(cluster::TierKind::kProxy).members()[0];
+  system.move_node(donor, cluster::TierKind::kApp, immediate,
+                   common::SimTime::seconds(8.0));
+  common::RunningStats after;
+  for (int i = 0; i < 10; ++i) {
+    const double wips = experiment.run_iteration().wips;
+    if (dip_series != nullptr) dip_series->push_back(wips);
+    if (i >= 4) after.add(wips);
+  }
+  return after.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: Eq. 1 reconfiguration cost model",
+                "Equation 1 + Figure 6 step 4(c) (Section IV)");
+
+  // Part 1: decision boundary sweep.
+  harmony::ReconfigOptions options = core::SystemModel::default_reconfig_options();
+  harmony::Reconfigurer reconfigurer(options);
+  std::printf("F = %.1f s, A_k = 0.060 s/job, M_km = 0.020 s/job\n\n",
+              options.config_cost_seconds);
+  common::TextTable sweep({"jobs on donor (N_k)", "Eq. 1 (s)", "decision"});
+  for (const double jobs : {0.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0}) {
+    harmony::NodeReading donor;
+    donor.jobs = jobs;
+    donor.avg_process_seconds = 0.060;
+    donor.move_cost_seconds = 0.020;
+    donor.utilization = {0, 0, 0, 0};
+    const double cost = reconfigurer.move_cost(donor);
+    sweep.add_row({common::TextTable::num(jobs, 0),
+                   common::TextTable::num(cost, 2),
+                   cost <= 0.0 ? "reconfigure immediately"
+                               : "wait for drain"});
+  }
+  sweep.render(std::cout);
+
+  // Part 2: live comparison of the two execution styles.
+  std::printf("\nlive comparison (4 proxies + 2 apps, ordering mix, one\n"
+              "proxy re-purposed to the app tier):\n");
+  std::vector<double> immediate_series;
+  std::vector<double> drain_series;
+  const double immediate = run_move_style(true, &immediate_series);
+  const double drained = run_move_style(false, &drain_series);
+  common::TextTable live({"style", "settled WIPS", "iter 1 after move",
+                          "iter 2 after move"});
+  live.add_row({"immediate", common::TextTable::num(immediate, 1),
+                common::TextTable::num(immediate_series[0], 1),
+                common::TextTable::num(immediate_series[1], 1)});
+  live.add_row({"wait for drain", common::TextTable::num(drained, 1),
+                common::TextTable::num(drain_series[0], 1),
+                common::TextTable::num(drain_series[1], 1)});
+  live.render(std::cout);
+  std::printf(
+      "\nBoth styles settle at the same rebalanced throughput; they differ\n"
+      "in the transition iterations, which is precisely the cost that\n"
+      "Eq. 1 weighs (migrating N_k jobs now vs letting them finish).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 4: applying best configurations after 200 iterations to
+// different workloads.
+//
+// For each TPC-W mix (Browsing / Shopping / Ordering) Active Harmony tunes
+// the 23 parameters for 200 iterations.  Each best configuration is then
+// re-measured under all three workloads, reproducing the paper's 3x3 bar
+// matrix, and the improvement-vs-default row of the embedded table
+// (paper: 15% / 16% / 5%).
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ah;
+  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
+  bench::banner("Figure 4: best configurations across workloads",
+                "Figure 4 + embedded improvement table (Section III.A)");
+
+  const tpcw::WorkloadKind kinds[] = {tpcw::WorkloadKind::kBrowsing,
+                                      tpcw::WorkloadKind::kShopping,
+                                      tpcw::WorkloadKind::kOrdering};
+
+  // Tune per workload.
+  harmony::PointI best_configs[3];
+  double baselines[3] = {};
+  for (int w = 0; w < 3; ++w) {
+    bench::StudySpec spec;
+    spec.workload = kinds[w];
+    spec.browsers = bench::browsers_for(kinds[w]);
+    spec.iterations = iterations;
+    std::printf("tuning %s for %zu iterations...\n",
+                std::string(tpcw::workload_name(kinds[w])).c_str(),
+                iterations);
+    const auto study = bench::run_study(spec);
+    best_configs[w] = study.tuning.best_configuration;
+    baselines[w] = study.baseline_wips;
+    bench::write_series_csv(
+        std::string("fig4_tuning_") +
+            std::string(tpcw::workload_name(kinds[w])),
+        study.tuning.wips_series);
+  }
+
+  // Cross-apply: measured[config][workload].
+  double measured[3][3];
+  for (int c = 0; c < 3; ++c) {
+    for (int w = 0; w < 3; ++w) {
+      bench::StudySpec spec;
+      spec.workload = kinds[w];
+      spec.browsers = bench::browsers_for(kinds[w]);
+      measured[c][w] = bench::measure_configuration(spec, best_configs[c]);
+    }
+  }
+
+  std::printf("\nWIPS by (configuration tuned for) x (workload run):\n");
+  common::TextTable matrix({"configuration \\ workload", "Browsing",
+                            "Shopping", "Ordering"});
+  matrix.add_row({"default", common::TextTable::num(baselines[0], 1),
+                  common::TextTable::num(baselines[1], 1),
+                  common::TextTable::num(baselines[2], 1)});
+  for (int c = 0; c < 3; ++c) {
+    matrix.add_row({"tuned for " + std::string(tpcw::workload_name(kinds[c])),
+                    common::TextTable::num(measured[c][0], 1),
+                    common::TextTable::num(measured[c][1], 1),
+                    common::TextTable::num(measured[c][2], 1)});
+  }
+  matrix.render(std::cout);
+
+  std::printf("\nImprovement of the natively-tuned configuration over the\n"
+              "default configuration (paper: 15%% / 16%% / 5%%):\n");
+  common::TextTable improvements({"", "Browsing", "Shopping", "Ordering"});
+  std::vector<std::string> cells{"improvement"};
+  for (int w = 0; w < 3; ++w) {
+    cells.push_back(common::TextTable::percent(
+        (measured[w][w] - baselines[w]) / baselines[w], 1));
+  }
+  improvements.add_row(cells);
+  improvements.render(std::cout);
+
+  std::printf("\nCross-workload penalty (native config vs foreign config,\n"
+              "positive = the workload's own configuration wins):\n");
+  common::TextTable penalty({"workload", "vs other config 1",
+                             "vs other config 2"});
+  for (int w = 0; w < 3; ++w) {
+    std::vector<std::string> row{
+        std::string(tpcw::workload_name(kinds[w]))};
+    for (int c = 0; c < 3; ++c) {
+      if (c == w) continue;
+      row.push_back(common::TextTable::percent(
+          (measured[w][w] - measured[c][w]) /
+              std::max(1e-9, measured[c][w]),
+          1));
+    }
+    penalty.add_row(row);
+  }
+  penalty.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 7: automatic cluster reconfiguration experiments.
+//
+// (a) Six proxy/app nodes start as 4 proxies + 2 app servers.  The workload
+//     begins as browsing and switches to ordering at iteration 90; the
+//     reconfiguration check runs once right after iteration 100 and moves a
+//     node from the proxy tier to the application tier.  Paper: ~62%
+//     throughput improvement.
+// (b) The dual: 2 proxies + 4 app servers under a browsing workload; the
+//     check after iteration 100 moves an app node to the proxy tier.
+//     Paper: ~70% improvement.
+//
+// The database tier is provisioned out of the way in both cases (the
+// imbalance under study is proxy vs app).  A shortened iteration count is
+// used by default; pass `<pre> <post>` to change phase lengths.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/reconfig_controller.hpp"
+
+namespace {
+
+using namespace ah;
+
+struct CaseResult {
+  double before = 0.0;        // mean WIPS in the window before the check
+  double after = 0.0;         // mean WIPS once the move settled
+  std::string move = "(none)";
+  std::vector<double> series;
+};
+
+CaseResult run_case(int proxies, int apps, tpcw::WorkloadKind initial,
+                    std::optional<tpcw::WorkloadKind> switch_to,
+                    std::size_t switch_at, std::size_t check_at,
+                    std::size_t total, bool tuned_config) {
+  sim::Simulator sim;
+  core::SystemModel::Config config;
+  config.lines = {core::SystemModel::LineSpec{proxies, apps, 3}};
+  core::SystemModel system(sim, config);
+  // Parameter tuning runs alongside reconfiguration in the paper.  Case
+  // (a) models the post-tuning state (app CPU is then the binding
+  // resource under ordering); case (b) models the pre-tuning state, where
+  // the default cache configuration makes the proxy disk path the binding
+  // resource under browsing.
+  if (tuned_config) {
+    system.apply_values_all(bench::tuned_reference_configuration());
+  }
+
+  core::Experiment::Config experiment_config;
+  // The Fig 7 experiments run the cluster well past the two-node tier's
+  // capacity so the load imbalance (not parameter tuning) dominates.
+  experiment_config.browsers = 2600;
+  experiment_config.workload = initial;
+  core::Experiment experiment(system, experiment_config);
+  // Thresholds are per-deployment inputs (paper Table 5: LT_ij / HT_ij).
+  // On this cluster every proxy also relays the full request stream, so a
+  // donor-eligible "lightly loaded" node sits below ~60-65% rather than
+  // the conservative defaults.
+  harmony::ReconfigOptions reconfig_options =
+      core::SystemModel::default_reconfig_options();
+  reconfig_options.resources[core::SystemModel::kCpu].low_threshold = 0.60;
+  reconfig_options.resources[core::SystemModel::kDisk].low_threshold = 0.60;
+  reconfig_options.resources[core::SystemModel::kNic].low_threshold = 0.50;
+  core::ReconfigController controller(system, reconfig_options);
+
+  CaseResult result;
+  common::RunningStats before;
+  common::RunningStats after;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (switch_to.has_value() && i == switch_at) {
+      experiment.set_workload(*switch_to);
+    }
+    const auto iteration = experiment.run_iteration();
+    result.series.push_back(iteration.wips);
+    if (i + 1 == check_at) {
+      const auto decision = controller.check();
+      if (decision.has_value()) {
+        result.move = common::format(
+            "node{} {} -> {} ({})", decision->donor_node,
+            cluster::tier_name(
+                static_cast<cluster::TierKind>(decision->from_tier)),
+            cluster::tier_name(
+                static_cast<cluster::TierKind>(decision->to_tier)),
+            decision->immediate ? "immediate" : "after drain");
+      }
+    }
+    // Windows: the 8 iterations before the check (but after any workload
+    // switch settled), and the last 8 iterations of the run.
+    if (i + 1 <= check_at && i + 1 > check_at - 8 &&
+        (!switch_to.has_value() || i >= switch_at + 2)) {
+      before.add(iteration.wips);
+    }
+    if (i + 8 >= total) after.add(iteration.wips);
+  }
+  result.before = before.mean();
+  result.after = after.mean();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t check_at = argc > 1 ? std::stoul(argv[1]) : 25;
+  const std::size_t total = argc > 2 ? std::stoul(argv[2]) : 45;
+  bench::banner("Figure 7: automatic cluster reconfiguration",
+                "Figure 7(a) and 7(b) (Section IV)");
+
+  std::printf("case (a): 4 proxies + 2 app servers, browsing -> ordering\n");
+  const auto a = run_case(4, 2, tpcw::WorkloadKind::kBrowsing,
+                          tpcw::WorkloadKind::kOrdering,
+                          /*switch_at=*/check_at - 10, check_at, total,
+                          /*tuned_config=*/true);
+  bench::write_series_csv("fig7a_series", a.series);
+
+  std::printf("case (b): 2 proxies + 4 app servers, browsing throughout\n");
+  const auto b = run_case(2, 4, tpcw::WorkloadKind::kBrowsing, std::nullopt,
+                          0, check_at, total, /*tuned_config=*/false);
+  bench::write_series_csv("fig7b_series", b.series);
+
+  common::TextTable table({"case", "move", "WIPS before", "WIPS after",
+                           "improvement", "paper"});
+  table.add_row({"(a) proxy -> app", a.move,
+                 common::TextTable::num(a.before, 1),
+                 common::TextTable::num(a.after, 1),
+                 common::TextTable::percent((a.after - a.before) /
+                                                std::max(1e-9, a.before),
+                                            1),
+                 "~62%"});
+  table.add_row({"(b) app -> proxy", b.move,
+                 common::TextTable::num(b.before, 1),
+                 common::TextTable::num(b.after, 1),
+                 common::TextTable::percent((b.after - b.before) /
+                                                std::max(1e-9, b.before),
+                                            1),
+                 "~70%"});
+  table.render(std::cout);
+  std::printf(
+      "\nThe two cases are duals (paper Section IV): whichever tier the\n"
+      "workload overloads, the under-utilized tier donates a node, and\n"
+      "throughput recovers without taking the system down.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table 1: TPC-W benchmark workloads.
+//
+// Regenerates the paper's Table 1 by sampling each standard mix and
+// printing specified vs generated percentages per web interaction, plus the
+// Browse/Order aggregate rows.  This validates that the workload generator
+// reproduces the mix the evaluation depends on.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "tpcw/mix.hpp"
+
+int main() {
+  using namespace ah;
+  bench::banner("Table 1: TPC-W benchmark workloads",
+                "Table 1 (workload mix definition)");
+
+  constexpr int kDraws = 500000;
+  common::Rng rng(1);
+
+  // Sample all three mixes.
+  double generated[tpcw::kWorkloadCount][tpcw::kInteractionCount] = {};
+  for (int w = 0; w < tpcw::kWorkloadCount; ++w) {
+    const auto& mix =
+        tpcw::Mix::standard(static_cast<tpcw::WorkloadKind>(w));
+    for (int i = 0; i < kDraws; ++i) {
+      ++generated[w][static_cast<int>(mix.sample(rng))];
+    }
+    for (double& g : generated[w]) g = g / kDraws * 100.0;
+  }
+
+  common::TextTable table({"Web Interaction", "Browsing spec", "gen",
+                           "Shopping spec", "gen", "Ordering spec", "gen"});
+  auto row = [&](tpcw::Interaction interaction) {
+    const int idx = static_cast<int>(interaction);
+    std::vector<std::string> cells;
+    cells.push_back(std::string(tpcw::interaction_name(interaction)));
+    for (int w = 0; w < tpcw::kWorkloadCount; ++w) {
+      const auto& mix =
+          tpcw::Mix::standard(static_cast<tpcw::WorkloadKind>(w));
+      cells.push_back(
+          common::TextTable::percent(mix.weight(interaction), 2));
+      cells.push_back(common::TextTable::num(generated[w][idx], 2) + "%");
+    }
+    table.add_row(cells);
+  };
+
+  // Browse aggregate first, as in the paper's layout.
+  {
+    std::vector<std::string> cells{"Browse"};
+    for (int w = 0; w < tpcw::kWorkloadCount; ++w) {
+      const auto& mix =
+          tpcw::Mix::standard(static_cast<tpcw::WorkloadKind>(w));
+      double gen_browse = 0.0;
+      for (int i = 0; i < tpcw::kInteractionCount; ++i) {
+        if (tpcw::is_browse(static_cast<tpcw::Interaction>(i))) {
+          gen_browse += generated[w][i];
+        }
+      }
+      cells.push_back(common::TextTable::percent(mix.browse_fraction(), 0));
+      cells.push_back(common::TextTable::num(gen_browse, 2) + "%");
+    }
+    table.add_row(cells);
+  }
+  for (const auto interaction :
+       {tpcw::Interaction::kHome, tpcw::Interaction::kNewProducts,
+        tpcw::Interaction::kBestSellers, tpcw::Interaction::kProductDetail,
+        tpcw::Interaction::kSearchRequest,
+        tpcw::Interaction::kSearchResults}) {
+    row(interaction);
+  }
+  {
+    std::vector<std::string> cells{"Order"};
+    for (int w = 0; w < tpcw::kWorkloadCount; ++w) {
+      const auto& mix =
+          tpcw::Mix::standard(static_cast<tpcw::WorkloadKind>(w));
+      double gen_order = 0.0;
+      for (int i = 0; i < tpcw::kInteractionCount; ++i) {
+        if (!tpcw::is_browse(static_cast<tpcw::Interaction>(i))) {
+          gen_order += generated[w][i];
+        }
+      }
+      cells.push_back(
+          common::TextTable::percent(1.0 - mix.browse_fraction(), 0));
+      cells.push_back(common::TextTable::num(gen_order, 2) + "%");
+    }
+    table.add_row(cells);
+  }
+  for (const auto interaction :
+       {tpcw::Interaction::kShoppingCart,
+        tpcw::Interaction::kCustomerRegistration,
+        tpcw::Interaction::kBuyRequest, tpcw::Interaction::kBuyConfirm,
+        tpcw::Interaction::kOrderInquiry, tpcw::Interaction::kOrderDisplay,
+        tpcw::Interaction::kAdminRequest,
+        tpcw::Interaction::kAdminConfirm}) {
+    row(interaction);
+  }
+
+  table.render(std::cout);
+  return 0;
+}

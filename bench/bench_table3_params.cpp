@@ -1,0 +1,69 @@
+// Table 3: tuning results for different workloads.
+//
+// Prints the default value and the best-configuration value of every one of
+// the 23 tunable parameters after tuning each TPC-W mix — the shape of the
+// paper's Table 3.  Absolute values differ from the paper's testbed; the
+// qualitative patterns to look for are called out underneath the table
+// (e.g. ordering grows thread pools, cache knobs grow for cache-friendly
+// mixes, cache_swap_low/high wander because they are performance-inert).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "webstack/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ah;
+  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
+  bench::banner("Table 3: tuned parameter values per workload",
+                "Table 3 (Section III.A)");
+
+  const tpcw::WorkloadKind kinds[] = {tpcw::WorkloadKind::kBrowsing,
+                                      tpcw::WorkloadKind::kShopping,
+                                      tpcw::WorkloadKind::kOrdering};
+  harmony::PointI best[3];
+  for (int w = 0; w < 3; ++w) {
+    bench::StudySpec spec;
+    spec.workload = kinds[w];
+    spec.browsers = bench::browsers_for(kinds[w]);
+    spec.iterations = iterations;
+    std::printf("tuning %s (%zu iterations)...\n",
+                std::string(tpcw::workload_name(kinds[w])).c_str(),
+                iterations);
+    best[w] = bench::run_study(spec).tuning.best_configuration;
+  }
+
+  common::TextTable table({"Tunable parameter", "Default", "Browsing",
+                           "Shopping", "Ordering"});
+  const auto& catalogue = webstack::parameter_catalogue();
+  cluster::TierKind last_tier = cluster::TierKind::kDb;
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (i == 0 || catalogue[i].tier != last_tier) {
+      last_tier = catalogue[i].tier;
+      const char* header = last_tier == cluster::TierKind::kProxy
+                               ? "-- Proxy Server --"
+                               : last_tier == cluster::TierKind::kApp
+                                     ? "-- Web Server --"
+                                     : "-- Database Server --";
+      table.add_row({header, "", "", "", ""});
+    }
+    table.add_row({catalogue[i].name,
+                   std::to_string(catalogue[i].default_value),
+                   std::to_string(best[0][i]), std::to_string(best[1][i]),
+                   std::to_string(best[2][i])});
+  }
+  table.render(std::cout);
+
+  std::printf(
+      "\nPatterns to compare with the paper's Table 3:\n"
+      " * proxy cache parameters move for the cache-heavy mixes\n"
+      "   (browsing/shopping) but matter little for ordering;\n"
+      " * thread-pool and accept-queue parameters grow most under the\n"
+      "   ordering mix (DB-latency-bound requests hold threads longer);\n"
+      " * binlog_cache_size grows for write-heavy mixes;\n"
+      " * cache_swap_low/high and join_buffer_size are performance-inert\n"
+      "   (paper Section III.A), so their tuned values wander.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// config_compare: measure the default configuration against a hand-tuned
+// one across the three TPC-W mixes — the "is tuning worth it" question an
+// administrator asks before deploying Active Harmony.
+//
+// Usage: config_compare [browsers] [iterations-per-cell]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+#include "core/system_model.hpp"
+#include "tpcw/mix.hpp"
+#include "webstack/params.hpp"
+
+namespace {
+
+/// A configuration in the spirit of the paper's Table-3 "Ordering" column:
+/// bigger caches, far more threads, larger DB buffers.
+std::vector<std::int64_t> hand_tuned() {
+  ah::webstack::ProxyParams proxy;
+  proxy.cache_mem = 24LL * 1024 * 1024;
+  proxy.maximum_object_size_in_memory = 64LL * 1024;
+  ah::webstack::AppParams app;
+  app.min_processors = 32;
+  app.max_processors = 128;
+  app.accept_count = 150;
+  app.buffer_size = 8192;
+  app.ajp_min_processors = 32;
+  app.ajp_max_processors = 160;
+  app.ajp_accept_count = 300;
+  ah::webstack::DbParams db;
+  db.binlog_cache_size = 284672;
+  db.max_connections = 700;
+  db.table_cache = 900;
+  db.thread_concurrency = 80;
+  db.net_buffer_length = 34816;
+  return ah::webstack::to_values(proxy, app, db);
+}
+
+double run_cell(ah::tpcw::WorkloadKind workload,
+                const std::vector<std::int64_t>& values, int browsers,
+                std::size_t iterations) {
+  ah::sim::Simulator sim;
+  ah::core::SystemModel::Config system_config;
+  system_config.lines = {ah::core::SystemModel::LineSpec{1, 1, 1}};
+  ah::core::SystemModel system(sim, system_config);
+  system.apply_values_all(values);
+
+  ah::core::Experiment::Config experiment_config;
+  experiment_config.browsers = browsers;
+  experiment_config.workload = workload;
+  ah::core::Experiment experiment(system, experiment_config);
+
+  ah::common::RunningStats wips;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto result = experiment.run_iteration();
+    if (i > 0) wips.add(result.wips);  // skip the cold-start iteration
+  }
+  return wips.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int browsers = argc > 1 ? std::stoi(argv[1]) : 500;
+  const std::size_t iterations = argc > 2 ? std::stoul(argv[2]) : 6;
+
+  const auto defaults = ah::webstack::default_values();
+  const auto tuned = hand_tuned();
+
+  std::printf("%-10s %12s %12s %10s\n", "workload", "default WIPS",
+              "tuned WIPS", "gain");
+  for (const auto kind :
+       {ah::tpcw::WorkloadKind::kBrowsing, ah::tpcw::WorkloadKind::kShopping,
+        ah::tpcw::WorkloadKind::kOrdering}) {
+    const double base = run_cell(kind, defaults, browsers, iterations);
+    const double best = run_cell(kind, tuned, browsers, iterations);
+    std::printf("%-10s %12.1f %12.1f %9.1f%%\n",
+                std::string(ah::tpcw::workload_name(kind)).c_str(), base,
+                best, 100.0 * (best - base) / base);
+  }
+  return 0;
+}

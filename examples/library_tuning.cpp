@@ -1,0 +1,94 @@
+// library_tuning: the Library Specification Layer on the paper's own
+// example — "what algorithm is being used (e.g., heap sort vs quick-sort)".
+//
+// Three sort implementations are registered in one OperationFamily; calls
+// come in two context buckets (small nearly-sorted arrays vs large random
+// arrays).  The layer measures each implementation and converges on a
+// different winner per bucket: insertion sort dominates the small
+// nearly-sorted bucket, the O(n log n) sorts win the large one.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "harmony/library_layer.hpp"
+
+namespace {
+
+void insertion_sort(std::vector<int>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    int key = v[i];
+    std::size_t j = i;
+    while (j > 0 && v[j - 1] > key) {
+      v[j] = v[j - 1];
+      --j;
+    }
+    v[j] = key;
+  }
+}
+
+void heap_sort(std::vector<int>& v) {
+  std::make_heap(v.begin(), v.end());
+  std::sort_heap(v.begin(), v.end());
+}
+
+void intro_sort(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using ah::harmony::OperationFamily;
+
+  OperationFamily::Options options;
+  options.buckets = 2;       // 0 = small nearly-sorted, 1 = large random
+  options.explore_rate = 0.08;
+  ah::harmony::TunedOperation<void(std::vector<int>&)> sorter("sort",
+                                                              options);
+  sorter.set_clock(now_seconds);
+  sorter.add("insertion", insertion_sort);
+  sorter.add("heap", heap_sort);
+  sorter.add("introsort", intro_sort);
+
+  std::mt19937 rng(7);
+  for (int call = 0; call < 600; ++call) {
+    const bool small = call % 2 == 0;
+    std::vector<int> data;
+    if (small) {
+      // 256 elements, nearly sorted (a few swaps).
+      data.resize(256);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<int>(i);
+      }
+      for (int s = 0; s < 4; ++s) {
+        std::swap(data[rng() % data.size()], data[rng() % data.size()]);
+      }
+    } else {
+      data.resize(20000);
+      for (auto& x : data) x = static_cast<int>(rng());
+    }
+    sorter.call(small ? 0 : 1, data);
+  }
+
+  auto& family = sorter.family();
+  std::printf("per-bucket results after 600 calls:\n");
+  for (std::size_t bucket = 0; bucket < 2; ++bucket) {
+    std::printf("  bucket %zu (%s):\n", bucket,
+                bucket == 0 ? "small, nearly sorted" : "large, random");
+    for (std::size_t i = 0; i < family.implementations(); ++i) {
+      std::printf("    %-10s calls %4llu   est cost %.2e s\n",
+                  family.implementation_name(i).c_str(),
+                  static_cast<unsigned long long>(family.calls(i, bucket)),
+                  family.estimated_cost(i, bucket));
+    }
+    std::printf("    incumbent: %s\n",
+                family.implementation_name(family.incumbent(bucket)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Cluster topology: owns nodes and their tier assignment.
+//
+// Reconfiguration (paper Section IV) moves a node between tiers; the Cluster
+// records membership and raises an observer callback so that the web-stack
+// layer can stop/start the right server processes.  The Cluster itself is
+// policy-free — deciding *which* node to move is the Harmony reconfiguration
+// algorithm's job.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/tier.hpp"
+#include "sim/simulator.hpp"
+
+namespace ah::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::Simulator& sim);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Creates a node and assigns it to `tier`.  Returns its id.
+  NodeId add_node(const NodeHardware& hw, TierKind tier);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+
+  [[nodiscard]] Tier& tier(TierKind kind) { return tiers_[tier_index(kind)]; }
+  [[nodiscard]] const Tier& tier(TierKind kind) const {
+    return tiers_[tier_index(kind)];
+  }
+
+  /// Tier a node currently belongs to.
+  [[nodiscard]] TierKind tier_of(NodeId id) const;
+
+  /// Nodes of a tier in membership order.
+  [[nodiscard]] std::vector<Node*> nodes_in(TierKind kind);
+
+  /// Moves `id` to `to`.  Precondition: the source tier keeps >= 1 member
+  /// (the paper's step-4(b) safety rule); violating it throws
+  /// std::logic_error.  Fires the move observer after membership changes.
+  void move_node(NodeId id, TierKind to);
+
+  /// Observer invoked as (node, from, to) after each move.
+  using MoveObserver = std::function<void(NodeId, TierKind, TierKind)>;
+  void set_move_observer(MoveObserver observer) {
+    move_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<TierKind> node_tier_;
+  std::array<Tier, kTierCount> tiers_;
+  MoveObserver move_observer_;
+};
+
+}  // namespace ah::cluster

@@ -1,0 +1,36 @@
+#include "cluster/load_balancer.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace ah::cluster {
+
+std::size_t LoadBalancer::pick(std::size_t n, const LoadFn& load) {
+  assert(n > 0);
+  switch (policy_) {
+    case BalancePolicy::kRoundRobin: {
+      const std::size_t choice = next_ % n;
+      next_ = (next_ + 1) % n;
+      return choice;
+    }
+    case BalancePolicy::kRandom:
+      return static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    case BalancePolicy::kLeastLoaded: {
+      if (!load) return 0;
+      std::size_t best = 0;
+      double best_load = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double l = load(i);
+        if (l < best_load) {
+          best_load = l;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ah::cluster

@@ -1,0 +1,43 @@
+// Backend-selection policies for a tier.
+//
+// The paper assumes "workload evenly distributed among all the servers in
+// the same tier" for parameter duplication, and strict work-line isolation
+// for parameter partitioning.  Both are expressible here: kRoundRobin gives
+// even spread; the partitioned topology simply gives each work line a
+// single-backend balancer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/rng.hpp"
+
+namespace ah::cluster {
+
+enum class BalancePolicy { kRoundRobin, kLeastLoaded, kRandom };
+
+class LoadBalancer {
+ public:
+  /// `load(i)` must return a comparable load figure for backend i (queue
+  /// length, connections, ...); only kLeastLoaded consults it.
+  using LoadFn = std::function<double(std::size_t)>;
+
+  explicit LoadBalancer(BalancePolicy policy, std::uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  /// Picks a backend in [0, n).  Precondition: n > 0.
+  [[nodiscard]] std::size_t pick(std::size_t n, const LoadFn& load = {});
+
+  [[nodiscard]] BalancePolicy policy() const { return policy_; }
+
+  /// Resets round-robin position (used after tier membership changes so a
+  /// stale cursor cannot skew the spread).
+  void reset() { next_ = 0; }
+
+ private:
+  BalancePolicy policy_;
+  std::size_t next_ = 0;
+  common::Rng rng_;
+};
+
+}  // namespace ah::cluster

@@ -1,0 +1,25 @@
+#include "cluster/network.hpp"
+
+#include <utility>
+
+namespace ah::cluster {
+
+void Network::send(Node& from, Node& to, common::Bytes bytes,
+                   std::function<void()> on_delivered) {
+  ++messages_;
+  bytes_ += bytes;
+  if (from.id() == to.id()) {
+    // Loopback: treat as immediate (scheduled at now, preserving event
+    // ordering but costing no NIC time).
+    sim_.schedule(common::SimTime::zero(), std::move(on_delivered));
+    return;
+  }
+  const common::SimTime latency = from.hardware().nic_latency;
+  from.nic().submit(
+      from.nic_time(bytes),
+      [this, latency, cb = std::move(on_delivered)]() mutable {
+        sim_.schedule(latency, std::move(cb));
+      });
+}
+
+}  // namespace ah::cluster

@@ -1,0 +1,95 @@
+// A cluster machine: CPU cores, one disk, one NIC, and a memory budget.
+//
+// Mirrors the paper's testbed nodes (dual Athlon, 1 GiB RAM, 100 Mbps
+// Ethernet).  Hardware contention is modelled with sim::Resource queues;
+// memory is a capacity counter whose over-subscription translates into a CPU
+// slowdown (paging), which is how "too many threads / too large buffers"
+// configurations hurt instead of help — the cliff the tuner must avoid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace ah::cluster {
+
+using NodeId = std::uint32_t;
+
+struct NodeHardware {
+  int cpu_cores = 2;                         // dual Athlon
+  double cpu_speed = 1.0;                    // relative; >1 = faster
+  common::Bytes memory = 1024LL * 1024 * 1024;  // 1 GiB
+  double disk_mb_per_s = 35.0;               // sequential-ish throughput
+  double disk_seek_s = 0.009;                // seek + rotational latency
+  double nic_mbit_per_s = 100.0;             // 100 Mbps Ethernet
+  common::SimTime nic_latency = common::SimTime::micros(200);
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id, std::string name,
+       const NodeHardware& hw);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const NodeHardware& hardware() const { return hw_; }
+
+  /// CPU work: `demand` is time on a speed-1.0 core; actual service time is
+  /// scaled by node speed and the current paging slowdown.
+  [[nodiscard]] sim::Resource& cpu() { return *cpu_; }
+  [[nodiscard]] sim::Resource& disk() { return *disk_; }
+  [[nodiscard]] sim::Resource& nic() { return *nic_; }
+
+  /// Converts a byte count into disk service time on this node.
+  [[nodiscard]] common::SimTime disk_time(common::Bytes bytes) const;
+  /// Converts a byte count into NIC serialization time (latency excluded;
+  /// the caller adds `hardware().nic_latency` once per message).
+  [[nodiscard]] common::SimTime nic_time(common::Bytes bytes) const;
+
+  // -- Memory accounting ----------------------------------------------------
+  /// Reserves memory.  Reservations beyond physical capacity are allowed but
+  /// engage a paging slowdown on the CPU.
+  void alloc_memory(common::Bytes bytes);
+  void free_memory(common::Bytes bytes);
+  [[nodiscard]] common::Bytes memory_used() const { return memory_used_; }
+  /// used / capacity; > 1 when overcommitted.
+  [[nodiscard]] double memory_pressure() const;
+
+  // -- Utilization probes (consumed by sim::UtilizationMonitor) -------------
+  /// Each call returns utilization since the previous call to the same probe.
+  [[nodiscard]] double cpu_utilization_probe();
+  [[nodiscard]] double disk_utilization_probe();
+  [[nodiscard]] double nic_utilization_probe();
+
+ private:
+  /// Re-derives the CPU slowdown from node speed and memory pressure.
+  void refresh_cpu_slowdown();
+
+  sim::Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+  NodeHardware hw_;
+
+  std::unique_ptr<sim::Resource> cpu_;
+  std::unique_ptr<sim::Resource> disk_;
+  std::unique_ptr<sim::Resource> nic_;
+
+  common::Bytes memory_used_ = 0;
+
+  struct ProbeSnapshot {
+    std::int64_t integral = 0;
+    common::SimTime at = common::SimTime::zero();
+  };
+  ProbeSnapshot cpu_snap_;
+  ProbeSnapshot disk_snap_;
+  ProbeSnapshot nic_snap_;
+};
+
+}  // namespace ah::cluster

@@ -1,0 +1,52 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace ah::common {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path, std::ios::trunc), columns_(columns.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(columns);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument(
+        format("CsvWriter: expected {} cells, got {}", columns_,
+               cells.size()));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format("{:.6g}", v));
+  write_row(cells);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{cell};
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ah::common

@@ -1,0 +1,38 @@
+// CSV writer for experiment traces (per-iteration WIPS series etc.).
+//
+// Bench binaries dump their raw series next to the rendered tables so that
+// figures can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ah::common {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.  Throws
+  /// std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Writes one row.  Cell count must equal the column count.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void write_row(std::initializer_list<double> values);
+
+  /// Escapes a cell per RFC 4180 (quotes cells containing , " or newline).
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ah::common

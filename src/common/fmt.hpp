@@ -1,0 +1,117 @@
+// Minimal std::format stand-in.
+//
+// The toolchain here (libstdc++ 12) does not ship <format>, so this header
+// provides the small subset the project needs: positional-free `{}`
+// placeholders with optional `:.Nf` / `:.Ng` / `:>N` / `:<N` specs, formatted
+// through ostringstream.  Literal braces are written `{{` / `}}`.
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ah::common {
+
+namespace detail {
+
+inline void apply_spec(std::ostringstream& os, std::string_view spec) {
+  // spec is the text between ':' and '}', e.g. ".2f", ">8", "<6", ".3g".
+  std::size_t i = 0;
+  if (i < spec.size() && (spec[i] == '>' || spec[i] == '<')) {
+    const char align = spec[i++];
+    std::size_t width = 0;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      width = width * 10 + static_cast<std::size_t>(spec[i++] - '0');
+    }
+    os << (align == '>' ? std::right : std::left)
+       << std::setw(static_cast<int>(width));
+  }
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    int precision = 0;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      precision = precision * 10 + (spec[i++] - '0');
+    }
+    os << std::setprecision(precision);
+    if (i < spec.size() && spec[i] == 'f') {
+      os << std::fixed;
+      ++i;
+    } else if (i < spec.size() && spec[i] == 'g') {
+      os.unsetf(std::ios::floatfield);
+      ++i;
+    }
+  }
+  if (i != spec.size()) {
+    throw std::invalid_argument("fmt: unsupported format spec");
+  }
+}
+
+inline void format_impl(std::ostringstream& os, std::string_view fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        os << '{';
+        ++i;
+        continue;
+      }
+      throw std::invalid_argument("fmt: more placeholders than arguments");
+    }
+    if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      os << '}';
+      ++i;
+      continue;
+    }
+    os << fmt[i];
+  }
+}
+
+template <typename T, typename... Rest>
+void format_impl(std::ostringstream& os, std::string_view fmt, const T& value,
+                 const Rest&... rest) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        os << '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("fmt: unbalanced '{'");
+      }
+      std::string_view spec = fmt.substr(i + 1, close - i - 1);
+      if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+      const auto saved_flags = os.flags();
+      const auto saved_precision = os.precision();
+      if (!spec.empty()) apply_spec(os, spec);
+      os << value;
+      os.flags(saved_flags);
+      os.precision(saved_precision);
+      format_impl(os, fmt.substr(close + 1), rest...);
+      return;
+    }
+    if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      os << '}';
+      ++i;
+      continue;
+    }
+    os << fmt[i];
+  }
+  // Extra arguments with no remaining placeholders are ignored (std::format
+  // allows this as well).
+}
+
+}  // namespace detail
+
+/// Formats `fmt` with `{}` placeholders.  Supported specs: `{:.Nf}`,
+/// `{:.Ng}`, `{:>N}`, `{:<N}`, and combinations like `{:>8.2f}`.
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  detail::format_impl(os, fmt, args...);
+  return os.str();
+}
+
+}  // namespace ah::common

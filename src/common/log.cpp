@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace ah::common {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view tag,
+                   std::string_view message) {
+  const std::scoped_lock lock(write_mutex_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(tag.size()),
+               tag.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace ah::common

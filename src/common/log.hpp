@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// Experiments run thousands of simulated iterations; logging must be cheap
+// when disabled (a single atomic level check) and safe when multiple
+// experiment threads log concurrently (one mutex around the final write).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/fmt.hpp"
+
+namespace ah::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  /// Process-wide logger (experiments share it; each line is tagged).
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(this->level());
+  }
+
+  void write(LogLevel level, std::string_view tag, std::string_view message);
+
+  template <typename... Args>
+  void log(LogLevel level, std::string_view tag, std::string_view fmt,
+           const Args&... args) {
+    if (!enabled(level)) return;
+    write(level, tag, common::format(fmt, args...));
+  }
+
+ private:
+  Logger() = default;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex write_mutex_;
+};
+
+template <typename... Args>
+void log_debug(std::string_view tag, std::string_view fmt, const Args&... args) {
+  Logger::instance().log(LogLevel::kDebug, tag, fmt, args...);
+}
+
+template <typename... Args>
+void log_info(std::string_view tag, std::string_view fmt, const Args&... args) {
+  Logger::instance().log(LogLevel::kInfo, tag, fmt, args...);
+}
+
+template <typename... Args>
+void log_warn(std::string_view tag, std::string_view fmt, const Args&... args) {
+  Logger::instance().log(LogLevel::kWarn, tag, fmt, args...);
+}
+
+template <typename... Args>
+void log_error(std::string_view tag, std::string_view fmt, const Args&... args) {
+  Logger::instance().log(LogLevel::kError, tag, fmt, args...);
+}
+
+}  // namespace ah::common

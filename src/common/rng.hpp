@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator needs reproducible randomness that is (a) fast, (b) seedable
+// per experiment / per iteration so that independent simulations can run in
+// parallel without sharing generator state, and (c) splittable so that each
+// subsystem (workload, cache, database) draws from an independent stream.
+//
+// We use xoshiro256** seeded via splitmix64, the standard recommendation of
+// the xoshiro authors.  <random> engines are avoided in hot paths because
+// std::mt19937_64 is large and the distributions are not portable across
+// standard libraries (which would break golden tests).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace ah::common {
+
+/// splitmix64: used for seeding and for hashing seeds together.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two seed values into one (for deriving per-subsystem streams).
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return ~static_cast<result_type>(0);
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent generator for a named sub-stream.
+  [[nodiscard]] constexpr Rng split(std::uint64_t stream_id) {
+    return Rng{mix_seed((*this)(), stream_id)};
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Uses Lemire-style rejection-free
+  /// multiply-shift; slight modulo bias is irrelevant for simulation use but
+  /// we reject to keep distributions exact for property tests.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (no cached second value: determinism
+  /// per-call matters more than speed here).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * mag;
+  }
+
+  /// Log-normal parameterised by the mean/sigma of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Pareto (heavy tail) with scale xm and shape alpha.
+  [[nodiscard]] double pareto(double xm, double alpha) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ah::common

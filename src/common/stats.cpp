@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ah::common {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double mean_of(std::span<const double> samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(std::span<const double> samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.sample_stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) return bucket_low(i) + width_ / 2.0;
+  }
+  return bucket_low(counts_.size() - 1) + width_;
+}
+
+}  // namespace ah::common

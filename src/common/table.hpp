@@ -1,0 +1,36 @@
+// ASCII table renderer for benchmark output.
+//
+// Every bench binary reproduces one table/figure from the paper and prints it
+// in a shape comparable to the original; this keeps that formatting in one
+// place.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ah::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; extra cells are dropped, missing cells are blank.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  [[nodiscard]] static std::string num(double value, int precision = 1);
+  [[nodiscard]] static std::string percent(double fraction, int precision = 1);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ah::common

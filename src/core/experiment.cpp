@@ -1,0 +1,81 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah::core {
+
+Experiment::Experiment(SystemModel& system, const Config& config)
+    : system_(system), config_(config), workload_(config.workload) {
+  const std::size_t lines = system_.line_count();
+  assert(lines > 0);
+  const int per_line =
+      std::max(1, config_.browsers / static_cast<int>(lines));
+  for (std::size_t li = 0; li < lines; ++li) {
+    meters_.push_back(std::make_unique<tpcw::WipsMeter>());
+    tpcw::Workload::Config wc;
+    wc.browsers = per_line;
+    wc.item_count = config_.item_count;
+    wc.seed = common::mix_seed(config_.seed, li);
+    workloads_.push_back(std::make_unique<tpcw::Workload>(
+        system_.simulator(), system_.frontend(li),
+        &tpcw::Mix::standard(workload_), *meters_.back(), wc));
+  }
+}
+
+void Experiment::set_workload(tpcw::WorkloadKind kind) {
+  workload_ = kind;
+  for (auto& workload : workloads_) {
+    workload->set_mix(&tpcw::Mix::standard(kind));
+  }
+}
+
+void Experiment::set_wirt_tracker(tpcw::WirtTracker* tracker) {
+  for (auto& workload : workloads_) workload->set_wirt_tracker(tracker);
+}
+
+const tpcw::WipsMeter& Experiment::meter(std::size_t line) const {
+  return *meters_.at(line);
+}
+
+IterationResult Experiment::run_iteration() {
+  sim::Simulator& sim = system_.simulator();
+  if (!started_) {
+    started_ = true;
+    for (auto& workload : workloads_) workload->start();
+  }
+
+  const common::SimTime start = sim.now();
+  const common::SimTime measure_from = start + config_.iteration.warmup;
+  const common::SimTime measure_to = measure_from + config_.iteration.measure;
+  for (auto& meter : meters_) meter->arm(measure_from, measure_to);
+
+  sim.run_until(start + config_.iteration.total());
+  ++iterations_;
+
+  IterationResult result;
+  result.line_wips.reserve(meters_.size());
+  double latency_weight = 0.0;
+  std::uint64_t ok_total = 0;
+  std::uint64_t err_total = 0;
+  for (const auto& meter : meters_) {
+    result.wips += meter->wips();
+    result.wips_browse += meter->wips_browse();
+    result.wips_order += meter->wips_order();
+    result.line_wips.push_back(meter->wips());
+    ok_total += meter->completed_ok();
+    err_total += meter->errors();
+    result.mean_latency_ms +=
+        meter->latency_ms().mean() *
+        static_cast<double>(meter->completed_ok());
+    latency_weight += static_cast<double>(meter->completed_ok());
+  }
+  if (latency_weight > 0.0) result.mean_latency_ms /= latency_weight;
+  const std::uint64_t total = ok_total + err_total;
+  result.error_ratio =
+      total > 0 ? static_cast<double>(err_total) / static_cast<double>(total)
+                : 0.0;
+  return result;
+}
+
+}  // namespace ah::core

@@ -1,0 +1,23 @@
+#include "core/reconfig_controller.hpp"
+
+namespace ah::core {
+
+ReconfigController::ReconfigController(SystemModel& system,
+                                       harmony::ReconfigOptions options)
+    : system_(system), reconfigurer_(std::move(options)) {}
+
+std::optional<harmony::ReconfigDecision> ReconfigController::check() {
+  const auto readings = system_.readings();
+  const auto decision = reconfigurer_.decide(readings);
+  if (!decision.has_value()) return std::nullopt;
+
+  system_.move_node(
+      decision->donor_node,
+      static_cast<cluster::TierKind>(decision->to_tier), decision->immediate,
+      common::SimTime::seconds(
+          reconfigurer_.options().config_cost_seconds));
+  moves_.push_back(*decision);
+  return decision;
+}
+
+}  // namespace ah::core

@@ -1,0 +1,42 @@
+// Binds the topology-agnostic reconfiguration algorithm to a SystemModel.
+//
+// The paper runs the reconfiguration check at a much lower frequency than
+// parameter tuning (e.g. every 50 iterations); the experiment loop calls
+// `check()` at that cadence.  A positive decision is executed through
+// SystemModel::move_node with the configuration cost F from the options.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "harmony/reconfig.hpp"
+
+namespace ah::core {
+
+class ReconfigController {
+ public:
+  ReconfigController(SystemModel& system, harmony::ReconfigOptions options =
+                                              SystemModel::default_reconfig_options());
+
+  /// Runs steps 1-5 on the current monitor readings; executes and returns
+  /// the decision when one is made.
+  std::optional<harmony::ReconfigDecision> check();
+
+  /// Decisions executed so far.
+  [[nodiscard]] const std::vector<harmony::ReconfigDecision>& moves() const {
+    return moves_;
+  }
+
+  [[nodiscard]] const harmony::Reconfigurer& algorithm() const {
+    return reconfigurer_;
+  }
+
+ private:
+  SystemModel& system_;
+  harmony::Reconfigurer reconfigurer_;
+  std::vector<harmony::ReconfigDecision> moves_;
+};
+
+}  // namespace ah::core

@@ -1,0 +1,314 @@
+#include "core/system_model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace ah::core {
+
+using cluster::NodeId;
+using cluster::TierKind;
+
+namespace {
+/// Poll period while waiting for a draining node to empty.
+constexpr auto kDrainPoll = common::SimTime::seconds(1.0);
+/// Role-dependent Eq.-1 inputs: average per-job remaining processing time
+/// (A_k) and per-job migration cost (M_km).  Derived from the simulated
+/// service demands: proxy jobs are short, app jobs span DB round trips.
+double avg_process_seconds(TierKind tier) {
+  switch (tier) {
+    case TierKind::kProxy: return 0.010;
+    case TierKind::kApp:   return 0.060;
+    case TierKind::kDb:    return 0.025;
+  }
+  return 0.02;
+}
+double move_cost_seconds(TierKind tier) {
+  switch (tier) {
+    case TierKind::kProxy: return 0.004;
+    case TierKind::kApp:   return 0.020;
+    case TierKind::kDb:    return 0.015;
+  }
+  return 0.01;
+}
+}  // namespace
+
+SystemModel::SystemModel(sim::Simulator& sim, const Config& config)
+    : sim_(sim) {
+  if (config.lines.empty()) {
+    throw std::invalid_argument("SystemModel: no work lines");
+  }
+  cluster_ = std::make_unique<cluster::Cluster>(sim_);
+  network_ = std::make_unique<cluster::Network>(sim_);
+  monitor_ = std::make_unique<sim::UtilizationMonitor>(
+      sim_, config.monitor_period, /*ewma_alpha=*/0.3);
+
+  std::uint64_t seed = config.seed;
+  for (std::size_t li = 0; li < config.lines.size(); ++li) {
+    Line line;
+    line.frontend = std::make_unique<webstack::FrontendRouter>(
+        sim_, config.frontend_policy, common::SimTime::micros(300),
+        common::mix_seed(seed, li * 3 + 0));
+    line.app_router = std::make_unique<webstack::AppTierRouter>(
+        *network_, config.backend_policy, common::mix_seed(seed, li * 3 + 1));
+    line.db_router = std::make_unique<webstack::DbTierRouter>(
+        *network_, config.backend_policy, common::mix_seed(seed, li * 3 + 2));
+    lines_.push_back(std::move(line));
+  }
+  for (std::size_t li = 0; li < config.lines.size(); ++li) {
+    const LineSpec& spec = config.lines[li];
+    if (spec.proxy_nodes < 1 || spec.app_nodes < 1 || spec.db_nodes < 1) {
+      throw std::invalid_argument(
+          "SystemModel: each line needs >= 1 node per tier");
+    }
+    for (int i = 0; i < spec.proxy_nodes; ++i) {
+      create_node(li, TierKind::kProxy, config);
+    }
+    for (int i = 0; i < spec.app_nodes; ++i) {
+      create_node(li, TierKind::kApp, config);
+    }
+    for (int i = 0; i < spec.db_nodes; ++i) {
+      create_node(li, TierKind::kDb, config);
+    }
+  }
+  monitor_->start();
+}
+
+NodeId SystemModel::create_node(std::size_t line_index, TierKind tier,
+                                const Config& config) {
+  const NodeId id = cluster_->add_node(config.hardware, tier);
+  cluster::Node& node = cluster_->node(id);
+  Line& line = lines_[line_index];
+
+  NodeState state;
+  state.id = id;
+  state.line = line_index;
+
+  webstack::AppTierRouter* app_router = line.app_router.get();
+  webstack::DbTierRouter* db_router = line.db_router.get();
+  state.proxy = std::make_unique<webstack::ProxyServer>(
+      sim_, node,
+      [app_router](const webstack::Request& request, cluster::Node& from,
+                   webstack::ResponseFn done) {
+        app_router->route(request, from, std::move(done));
+      },
+      webstack::ProxyParams{});
+  state.app = std::make_unique<webstack::AppServer>(
+      sim_, node,
+      [db_router](const webstack::DbQuery& query, cluster::Node& from,
+                  webstack::DbResultFn done) {
+        db_router->route(query, from, std::move(done));
+      },
+      webstack::AppParams{});
+  state.db = std::make_unique<webstack::DbServer>(
+      sim_, node, webstack::DbParams{},
+      common::mix_seed(config.seed, 0x0db + id));
+
+  // Only the role matching the node's tier stays active (and charged).
+  if (tier != TierKind::kProxy) state.proxy->set_active(false);
+  if (tier != TierKind::kApp) state.app->set_active(false);
+  if (tier != TierKind::kDb) state.db->set_active(false);
+
+  state.probe_base = monitor_->add_probe(
+      node.name() + ".cpu", [&node] { return node.cpu_utilization_probe(); });
+  monitor_->add_probe(node.name() + ".disk",
+                      [&node] { return node.disk_utilization_probe(); });
+  monitor_->add_probe(node.name() + ".nic",
+                      [&node] { return node.nic_utilization_probe(); });
+  monitor_->add_probe(node.name() + ".mem",
+                      [&node] { return node.memory_pressure(); });
+
+  line.nodes.push_back(id);
+  nodes_.push_back(std::move(state));
+  register_active(nodes_.back());
+  return id;
+}
+
+void SystemModel::register_active(NodeState& state) {
+  Line& line = lines_[state.line];
+  switch (cluster_->tier_of(state.id)) {
+    case TierKind::kProxy: line.frontend->add_backend(state.proxy.get()); break;
+    case TierKind::kApp:   line.app_router->add_backend(state.app.get()); break;
+    case TierKind::kDb:    line.db_router->add_backend(state.db.get()); break;
+  }
+}
+
+void SystemModel::deregister_active(NodeState& state, TierKind role) {
+  Line& line = lines_[state.line];
+  switch (role) {
+    case TierKind::kProxy: line.frontend->remove_backend(state.proxy.get()); break;
+    case TierKind::kApp:   line.app_router->remove_backend(state.app.get()); break;
+    case TierKind::kDb:    line.db_router->remove_backend(state.db.get()); break;
+  }
+}
+
+webstack::FrontendRouter& SystemModel::frontend(std::size_t line) {
+  return *lines_.at(line).frontend;
+}
+
+const std::vector<NodeId>& SystemModel::line_nodes(std::size_t line) const {
+  return lines_.at(line).nodes;
+}
+
+std::size_t SystemModel::line_of(NodeId id) const {
+  return nodes_.at(id).line;
+}
+
+std::vector<NodeId> SystemModel::all_nodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& state : nodes_) ids.push_back(state.id);
+  return ids;
+}
+
+void SystemModel::apply_values_to_node(NodeId id,
+                                       std::span<const std::int64_t> values) {
+  NodeState& state = nodes_.at(id);
+  switch (cluster_->tier_of(id)) {
+    case TierKind::kProxy:
+      state.proxy->reconfigure(webstack::proxy_from_values(values));
+      break;
+    case TierKind::kApp:
+      state.app->reconfigure(webstack::app_from_values(values));
+      break;
+    case TierKind::kDb:
+      state.db->reconfigure(webstack::db_from_values(values));
+      break;
+  }
+}
+
+void SystemModel::apply_values_all(std::span<const std::int64_t> values) {
+  for (const auto& state : nodes_) apply_values_to_node(state.id, values);
+}
+
+void SystemModel::apply_values_line(std::size_t line,
+                                    std::span<const std::int64_t> values) {
+  for (const NodeId id : lines_.at(line).nodes) {
+    apply_values_to_node(id, values);
+  }
+}
+
+webstack::ProxyServer& SystemModel::proxy_on(NodeId id) {
+  return *nodes_.at(id).proxy;
+}
+
+webstack::AppServer& SystemModel::app_on(NodeId id) {
+  return *nodes_.at(id).app;
+}
+
+webstack::DbServer& SystemModel::db_on(NodeId id) {
+  return *nodes_.at(id).db;
+}
+
+int SystemModel::active_load(NodeId id) {
+  NodeState& state = nodes_.at(id);
+  switch (cluster_->tier_of(id)) {
+    case TierKind::kProxy: return state.proxy->load();
+    case TierKind::kApp:   return state.app->load();
+    case TierKind::kDb:    return state.db->load();
+  }
+  return 0;
+}
+
+void SystemModel::move_node(NodeId id, TierKind to, bool immediate,
+                            common::SimTime config_cost) {
+  NodeState& state = nodes_.at(id);
+  if (state.moving) {
+    throw std::logic_error("SystemModel: node already being moved");
+  }
+  const TierKind from = cluster_->tier_of(id);
+  if (from == to) return;
+  if (cluster_->tier(from).size() <= 1) {
+    throw std::logic_error("SystemModel: source tier would become empty");
+  }
+  state.moving = true;
+  deregister_active(state, from);  // stop new traffic right away
+
+  common::log_info("reconfig", "node{} {} -> {} ({})", id,
+                   cluster::tier_name(from), cluster::tier_name(to),
+                   immediate ? "immediate" : "drain");
+
+  if (immediate) {
+    // Existing jobs are migrated to same-tier neighbours (cost M_km was
+    // already accounted in the decision); the switch starts now.
+    finish_move(id, to, config_cost);
+  } else {
+    // Wait for in-flight jobs to finish, polling the active server.
+    auto poll = std::make_shared<std::function<void()>>();
+    *poll = [this, id, to, config_cost, poll] {
+      if (active_load(id) > 0) {
+        sim_.schedule(kDrainPoll, *poll);
+      } else {
+        finish_move(id, to, config_cost);
+      }
+    };
+    sim_.schedule(kDrainPoll, *poll);
+  }
+}
+
+void SystemModel::finish_move(NodeId id, TierKind to,
+                              common::SimTime config_cost) {
+  sim_.schedule(config_cost, [this, id, to] {
+    NodeState& state = nodes_.at(id);
+    const TierKind from = cluster_->tier_of(id);
+    switch (from) {
+      case TierKind::kProxy: state.proxy->set_active(false); break;
+      case TierKind::kApp:   state.app->set_active(false); break;
+      case TierKind::kDb:    state.db->set_active(false); break;
+    }
+    cluster_->move_node(id, to);
+    switch (to) {
+      case TierKind::kProxy: state.proxy->set_active(true); break;
+      case TierKind::kApp:   state.app->set_active(true); break;
+      case TierKind::kDb:    state.db->set_active(true); break;
+    }
+    register_active(state);
+    state.moving = false;
+  });
+}
+
+bool SystemModel::move_in_progress(NodeId id) const {
+  return nodes_.at(id).moving;
+}
+
+std::vector<harmony::NodeReading> SystemModel::readings() {
+  std::vector<harmony::NodeReading> out;
+  out.reserve(nodes_.size());
+  for (auto& state : nodes_) {
+    if (state.moving) continue;  // mid-move nodes are neither donors nor hot
+    const TierKind tier = cluster_->tier_of(state.id);
+    harmony::NodeReading reading;
+    reading.node_id = state.id;
+    reading.tier = static_cast<int>(tier);
+    reading.utilization = {
+        monitor_->smoothed(state.probe_base + kCpu),
+        monitor_->smoothed(state.probe_base + kDisk),
+        monitor_->smoothed(state.probe_base + kNic),
+        monitor_->smoothed(state.probe_base + kMemory),
+    };
+    reading.jobs = static_cast<double>(active_load(state.id));
+    reading.avg_process_seconds = avg_process_seconds(tier);
+    reading.move_cost_seconds = move_cost_seconds(tier);
+    out.push_back(std::move(reading));
+  }
+  return out;
+}
+
+harmony::ReconfigOptions SystemModel::default_reconfig_options() {
+  harmony::ReconfigOptions options;
+  options.resources = {
+      // cpu: highest urgency weight (paper footnote 3)
+      harmony::ResourcePolicy{0.85, 0.30, 4.0},
+      // disk
+      harmony::ResourcePolicy{0.85, 0.35, 2.0},
+      // nic
+      harmony::ResourcePolicy{0.85, 0.35, 1.0},
+      // memory pressure: loose low bound — every live server holds memory
+      harmony::ResourcePolicy{0.97, 0.90, 3.0},
+  };
+  options.config_cost_seconds = 8.0;
+  return options;
+}
+
+}  // namespace ah::core

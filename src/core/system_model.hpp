@@ -1,0 +1,156 @@
+// SystemModel: the full simulated deployment.
+//
+// Builds the cluster (nodes, tiers), one server object of *each* role per
+// node, and the routing fabric, organised into one or more "work lines"
+// (paper §III.B): a work line is a self-contained slice with at least one
+// node per tier and its own routers, so requests entering line g never touch
+// another line.  The common single-line topology is just lines = {1 spec}.
+//
+// Every node eagerly owns a ProxyServer, AppServer and DbServer; only the
+// one matching the node's current tier is active and registered in the
+// line's routers.  Tier reconfiguration (paper §IV) is then: deregister the
+// old role, wait out the configuration cost F (optionally draining first),
+// activate the new role, register it.  In-flight requests complete on the
+// old role while the switch is pending — the paper's "uninterrupted
+// service" property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_balancer.hpp"
+#include "cluster/network.hpp"
+#include "harmony/reconfig.hpp"
+#include "sim/monitor.hpp"
+#include "sim/simulator.hpp"
+#include "webstack/app_server.hpp"
+#include "webstack/db_server.hpp"
+#include "webstack/params.hpp"
+#include "webstack/proxy_server.hpp"
+#include "webstack/router.hpp"
+
+namespace ah::core {
+
+class SystemModel {
+ public:
+  struct LineSpec {
+    int proxy_nodes = 1;
+    int app_nodes = 1;
+    int db_nodes = 1;
+  };
+
+  struct Config {
+    std::vector<LineSpec> lines = {LineSpec{}};
+    cluster::NodeHardware hardware{};
+    /// Client -> proxy spreading (the testbed's DNS/IPVS style rotation).
+    cluster::BalancePolicy frontend_policy =
+        cluster::BalancePolicy::kRoundRobin;
+    /// Proxy -> app and app -> db: busyness-based, like mod_jk's balancer
+    /// and DB connection pools.  Round-robin here would let one slow
+    /// backend accumulate an unbounded queue (no back-pressure).
+    cluster::BalancePolicy backend_policy =
+        cluster::BalancePolicy::kLeastLoaded;
+    /// Utilization sampling period for the reconfiguration monitor.
+    common::SimTime monitor_period = common::SimTime::seconds(5.0);
+    std::uint64_t seed = 1;
+  };
+
+  SystemModel(sim::Simulator& sim, const Config& config);
+
+  SystemModel(const SystemModel&) = delete;
+  SystemModel& operator=(const SystemModel&) = delete;
+
+  [[nodiscard]] std::size_t line_count() const { return lines_.size(); }
+  [[nodiscard]] webstack::FrontendRouter& frontend(std::size_t line);
+  [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Node ids belonging to a line, in creation order.
+  [[nodiscard]] const std::vector<cluster::NodeId>& line_nodes(
+      std::size_t line) const;
+  /// Line a node belongs to.
+  [[nodiscard]] std::size_t line_of(cluster::NodeId id) const;
+  /// All node ids.
+  [[nodiscard]] std::vector<cluster::NodeId> all_nodes() const;
+
+  // -- Parameter application -------------------------------------------
+  /// Applies a full 23-value vector (catalogue order) to one node — only
+  /// the slice for the node's *current* tier takes effect.
+  void apply_values_to_node(cluster::NodeId id,
+                            std::span<const std::int64_t> values);
+  /// Applies the same 23-value vector to every node (parameter
+  /// duplication and single-machine-per-tier setups).
+  void apply_values_all(std::span<const std::int64_t> values);
+  /// Applies a 23-value vector to all nodes of one line (parameter
+  /// partitioning: each work line has its own configuration).
+  void apply_values_line(std::size_t line,
+                         std::span<const std::int64_t> values);
+
+  // -- Server access -----------------------------------------------------
+  [[nodiscard]] webstack::ProxyServer& proxy_on(cluster::NodeId id);
+  [[nodiscard]] webstack::AppServer& app_on(cluster::NodeId id);
+  [[nodiscard]] webstack::DbServer& db_on(cluster::NodeId id);
+  /// In-flight jobs on the node's active server.
+  [[nodiscard]] int active_load(cluster::NodeId id);
+
+  // -- Reconfiguration ---------------------------------------------------
+  /// Moves a node into `to` (paper §IV step 5).  The old role stops taking
+  /// traffic immediately; the new role activates after `config_cost`
+  /// (plus a drain wait unless `immediate`).  Throws std::logic_error when
+  /// the source tier would become empty.
+  void move_node(cluster::NodeId id, cluster::TierKind to, bool immediate,
+                 common::SimTime config_cost);
+
+  /// True when a move is still pending on the node.
+  [[nodiscard]] bool move_in_progress(cluster::NodeId id) const;
+
+  // -- Monitoring ---------------------------------------------------------
+  [[nodiscard]] sim::UtilizationMonitor& monitor() { return *monitor_; }
+  /// Snapshot of per-node readings for harmony::Reconfigurer, using the
+  /// monitor's smoothed utilizations: [cpu, disk, nic, memory].
+  [[nodiscard]] std::vector<harmony::NodeReading> readings();
+
+  /// Resource-kind order used in readings() / recommended policies.
+  static constexpr std::size_t kCpu = 0, kDisk = 1, kNic = 2, kMemory = 3;
+  [[nodiscard]] static harmony::ReconfigOptions default_reconfig_options();
+
+ private:
+  struct NodeState {
+    cluster::NodeId id;
+    std::size_t line;
+    std::unique_ptr<webstack::ProxyServer> proxy;
+    std::unique_ptr<webstack::AppServer> app;
+    std::unique_ptr<webstack::DbServer> db;
+    // Monitor probe indices: cpu, disk, nic, memory.
+    std::size_t probe_base = 0;
+    bool moving = false;
+  };
+
+  struct Line {
+    std::vector<cluster::NodeId> nodes;
+    std::unique_ptr<webstack::FrontendRouter> frontend;
+    std::unique_ptr<webstack::AppTierRouter> app_router;
+    std::unique_ptr<webstack::DbTierRouter> db_router;
+  };
+
+  cluster::NodeId create_node(std::size_t line, cluster::TierKind tier,
+                              const Config& config);
+  void register_active(NodeState& state);
+  void deregister_active(NodeState& state, cluster::TierKind role);
+  void activate_role(cluster::NodeId id, cluster::TierKind role);
+  void finish_move(cluster::NodeId id, cluster::TierKind to,
+                   common::SimTime config_cost);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<cluster::Network> network_;
+  std::unique_ptr<sim::UtilizationMonitor> monitor_;
+  std::vector<Line> lines_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace ah::core

@@ -1,0 +1,319 @@
+#include "core/tuning_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+#include "common/stats.hpp"
+
+namespace ah::core {
+
+std::string_view tuning_method_name(TuningMethod method) {
+  switch (method) {
+    case TuningMethod::kNone:         return "None (No Tuning)";
+    case TuningMethod::kDefault:      return "Default method";
+    case TuningMethod::kDuplication:  return "Parameter duplication";
+    case TuningMethod::kPartitioning: return "Parameter partitioning";
+  }
+  return "?";
+}
+
+double TuningResult::mean_wips(std::size_t from, std::size_t to) const {
+  common::RunningStats stats;
+  for (std::size_t i = from; i < to && i < wips_series.size(); ++i) {
+    stats.add(wips_series[i]);
+  }
+  return stats.mean();
+}
+
+double TuningResult::stddev_wips(std::size_t from, std::size_t to) const {
+  common::RunningStats stats;
+  for (std::size_t i = from; i < to && i < wips_series.size(); ++i) {
+    stats.add(wips_series[i]);
+  }
+  return stats.sample_stddev();
+}
+
+TuningDriver::TuningDriver(SystemModel& system, Experiment& experiment,
+                           Options options)
+    : system_(system), experiment_(experiment), options_(options) {
+  build_sessions();
+}
+
+namespace {
+
+harmony::TunableParameter to_tunable(const webstack::ParamSpec& spec,
+                                     const std::string& prefix,
+                                     const std::int64_t* seed_value) {
+  std::int64_t start = spec.default_value;
+  if (seed_value != nullptr) {
+    start = std::clamp(*seed_value, spec.min_value, spec.max_value);
+  }
+  return harmony::TunableParameter{prefix + spec.name, spec.min_value,
+                                   spec.max_value, start};
+}
+
+}  // namespace
+
+void TuningDriver::build_sessions(const harmony::PointI* seed) {
+  const auto& catalogue = webstack::parameter_catalogue();
+  std::size_t seed_cursor = 0;
+  auto next_seed = [&]() -> const std::int64_t* {
+    if (seed == nullptr) return nullptr;
+    return &seed->at(seed_cursor++);
+  };
+  switch (options_.method) {
+    case TuningMethod::kNone:
+      break;
+    case TuningMethod::kDefault: {
+      // One global session: every node contributes its tier's slice.
+      const auto id = server_.create_session("default", options_.session);
+      for (const cluster::NodeId node : system_.all_nodes()) {
+        const auto tier = system_.cluster().tier_of(node);
+        for (const std::size_t ci : webstack::catalogue_indices_for(tier)) {
+          server_.register_parameter(
+              id, to_tunable(catalogue[ci],
+                             common::format("node{}.", node), next_seed()));
+        }
+        node_order_.push_back(node);
+      }
+      server_.start(id);
+      sessions_.push_back(id);
+      break;
+    }
+    case TuningMethod::kDuplication: {
+      const auto id = server_.create_session("duplication", options_.session);
+      for (const auto& spec : catalogue) {
+        server_.register_parameter(id, to_tunable(spec, "", next_seed()));
+      }
+      server_.start(id);
+      sessions_.push_back(id);
+      break;
+    }
+    case TuningMethod::kPartitioning: {
+      for (std::size_t line = 0; line < system_.line_count(); ++line) {
+        const auto id = server_.create_session(
+            common::format("workline{}", line), options_.session);
+        for (const auto& spec : catalogue) {
+          server_.register_parameter(id, to_tunable(spec, "", next_seed()));
+        }
+        server_.start(id);
+        sessions_.push_back(id);
+      }
+      break;
+    }
+  }
+}
+
+void TuningDriver::restart_sessions(const harmony::PointI& seed) {
+  if (options_.method == TuningMethod::kNone) return;
+  server_ = harmony::HarmonyServer{};
+  sessions_.clear();
+  node_order_.clear();
+  build_sessions(&seed);  // clamps each value into its parameter's bounds
+  // Put the system into the (clamped) remembered state immediately; the
+  // rebuilt sessions propose it as their first evaluation.
+  apply_pending();
+}
+
+void TuningDriver::apply_pending() {
+  switch (options_.method) {
+    case TuningMethod::kNone:
+      return;
+    case TuningMethod::kDefault: {
+      const harmony::PointI values = server_.get_configuration(sessions_[0]);
+      std::size_t offset = 0;
+      for (const cluster::NodeId node : node_order_) {
+        const auto tier = system_.cluster().tier_of(node);
+        const auto indices = webstack::catalogue_indices_for(tier);
+        harmony::PointI full = webstack::default_values();
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          full[indices[i]] = values.at(offset + i);
+        }
+        system_.apply_values_to_node(node, full);
+        offset += indices.size();
+      }
+      assert(offset == values.size());
+      return;
+    }
+    case TuningMethod::kDuplication:
+      system_.apply_values_all(server_.get_configuration(sessions_[0]));
+      return;
+    case TuningMethod::kPartitioning:
+      for (std::size_t line = 0; line < sessions_.size(); ++line) {
+        system_.apply_values_line(line,
+                                  server_.get_configuration(sessions_[line]));
+      }
+      return;
+  }
+}
+
+void TuningDriver::report(const IterationResult& result) {
+  switch (options_.method) {
+    case TuningMethod::kNone:
+      return;
+    case TuningMethod::kDefault:
+    case TuningMethod::kDuplication:
+      server_.report_performance(sessions_[0], result.wips);
+      return;
+    case TuningMethod::kPartitioning:
+      for (std::size_t line = 0; line < sessions_.size(); ++line) {
+        server_.report_performance(sessions_[line],
+                                   result.line_wips.at(line));
+      }
+      return;
+  }
+}
+
+harmony::PointI TuningDriver::concatenated_best() const {
+  harmony::PointI best;
+  for (const auto id : sessions_) {
+    const harmony::PointI part = server_.best_configuration(id);
+    best.insert(best.end(), part.begin(), part.end());
+  }
+  return best;
+}
+
+TuningResult TuningDriver::run(std::size_t iterations,
+                               std::size_t validation_iterations) {
+  TuningResult result;
+  result.wips_series.reserve(iterations);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    apply_pending();
+    const IterationResult measured = experiment_.run_iteration();
+    result.wips_series.push_back(measured.wips);
+    report(measured);
+  }
+
+  if (options_.method == TuningMethod::kNone) {
+    result.best_configuration = webstack::default_values();
+    result.best_wips = result.mean_wips(0, iterations);
+    result.validated_wips = result.best_wips;
+    result.converged_at = 0;
+    return result;
+  }
+
+  std::optional<std::size_t> converged = 0;
+  for (const auto id : sessions_) {
+    const auto c = server_.converged_at(id);
+    if (!c.has_value()) {
+      converged = std::nullopt;
+    } else if (converged.has_value()) {
+      converged = std::max(*converged, *c);
+    }
+  }
+  result.converged_at = converged;
+
+  if (validation_iterations == 0 ||
+      options_.method == TuningMethod::kPartitioning) {
+    // Partitioned sessions are validated as one concatenated candidate
+    // below when requested; without validation fall back to the raw best.
+    result.best_configuration = concatenated_best();
+    double best = 0.0;
+    for (const auto id : sessions_) best += server_.best_performance(id);
+    result.best_wips = best;
+    if (validation_iterations > 0) {
+      apply_configuration(result.best_configuration);
+      double validated = 0.0;
+      for (std::size_t i = 0; i <= validation_iterations; ++i) {
+        const double wips = experiment_.run_iteration().wips;
+        if (i > 0) validated += wips;  // first post-switch iteration settles
+      }
+      result.validated_wips =
+          validated / static_cast<double>(validation_iterations);
+    } else {
+      result.validated_wips = result.best_wips;
+    }
+    return result;
+  }
+
+  // Validation pass: the top distinct candidates from the session history
+  // are re-measured back-to-back on the live system.  One raw in-run
+  // observation can be inflated by state carried over from the previous
+  // iteration (e.g. a queue backlog draining), so the raw argmax is not
+  // trusted on its own.
+  const auto& history = server_.session(sessions_[0]).history();
+  std::vector<std::pair<double, const harmony::PointI*>> ranked;
+  ranked.reserve(history.size());
+  for (const auto& entry : history) {
+    ranked.emplace_back(entry.cost, &entry.configuration);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;  // lower cost first
+                   });
+  std::vector<harmony::PointI> candidates;
+  for (const auto& [cost, config] : ranked) {
+    if (candidates.size() >= 3) break;
+    if (std::find(candidates.begin(), candidates.end(), *config) ==
+        candidates.end()) {
+      candidates.push_back(*config);
+    }
+  }
+
+  double best_validated = -1.0;
+  for (const auto& candidate : candidates) {
+    apply_configuration(candidate);
+    double validated = 0.0;
+    for (std::size_t i = 0; i <= validation_iterations; ++i) {
+      const double wips = experiment_.run_iteration().wips;
+      if (i > 0) validated += wips;
+    }
+    validated /= static_cast<double>(validation_iterations);
+    if (validated > best_validated) {
+      best_validated = validated;
+      result.best_configuration = candidate;
+    }
+  }
+  result.best_wips = server_.best_performance(sessions_[0]);
+  result.validated_wips = best_validated;
+  return result;
+}
+
+void TuningDriver::apply_configuration(const harmony::PointI& configuration) {
+  const std::size_t catalogue_size = webstack::parameter_catalogue().size();
+  switch (options_.method) {
+    case TuningMethod::kNone:
+    case TuningMethod::kDuplication: {
+      if (configuration.size() != catalogue_size) {
+        throw std::invalid_argument("apply_configuration: expected 23 values");
+      }
+      system_.apply_values_all(configuration);
+      return;
+    }
+    case TuningMethod::kDefault: {
+      std::size_t offset = 0;
+      for (const cluster::NodeId node : node_order_) {
+        const auto tier = system_.cluster().tier_of(node);
+        const auto indices = webstack::catalogue_indices_for(tier);
+        harmony::PointI full = webstack::default_values();
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          full[indices[i]] = configuration.at(offset + i);
+        }
+        system_.apply_values_to_node(node, full);
+        offset += indices.size();
+      }
+      if (offset != configuration.size()) {
+        throw std::invalid_argument("apply_configuration: layout mismatch");
+      }
+      return;
+    }
+    case TuningMethod::kPartitioning: {
+      if (configuration.size() != catalogue_size * system_.line_count()) {
+        throw std::invalid_argument("apply_configuration: layout mismatch");
+      }
+      for (std::size_t line = 0; line < system_.line_count(); ++line) {
+        const harmony::PointI slice(
+            configuration.begin() +
+                static_cast<std::ptrdiff_t>(line * catalogue_size),
+            configuration.begin() +
+                static_cast<std::ptrdiff_t>((line + 1) * catalogue_size));
+        system_.apply_values_line(line, slice);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace ah::core

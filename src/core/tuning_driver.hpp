@@ -1,0 +1,113 @@
+// TuningDriver: the four cluster-tuning methods of the paper on top of a
+// SystemModel + Experiment.
+//
+//   kNone         no tuning; the default configuration throughout
+//                 (Table 4 "None" row)
+//   kDefault      one Harmony session over EVERY parameter of EVERY node:
+//                 a node contributes its tier's catalogue slice, so the
+//                 space has 7·P + 7·A + 9·D dimensions and one global WIPS
+//                 figure per iteration (Table 4 "Default method")
+//   kDuplication  one 23-dimension session; each tier's representative
+//                 values are duplicated onto all nodes of that tier
+//                 (Table 4 "Parameter duplication")
+//   kPartitioning one 23-dimension session PER WORK LINE, each fed by its
+//                 own line-local WIPS — several performance readings per
+//                 iteration, and a change in one line cannot perturb the
+//                 others' measurements (Table 4 "Parameter partitioning")
+//
+// The driver records the WIPS series, the best configuration, and the
+// convergence iteration for Table 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/system_model.hpp"
+#include "harmony/server.hpp"
+#include "webstack/params.hpp"
+
+namespace ah::core {
+
+enum class TuningMethod { kNone, kDefault, kDuplication, kPartitioning };
+
+[[nodiscard]] std::string_view tuning_method_name(TuningMethod method);
+
+struct TuningResult {
+  /// Measured WIPS per iteration (whole system).
+  std::vector<double> wips_series;
+  /// WIPS of the best configuration as re-measured during the validation
+  /// pass (see TuningDriver::run), not the raw in-run observation.
+  double validated_wips = 0.0;
+  /// Per-iteration applied configurations are implicit in the sessions'
+  /// histories; the best is resolved here:
+  /// for kDuplication/kNone: one 23-value vector;
+  /// for kDefault: concatenated per-node slices;
+  /// for kPartitioning: per-line 23-value vectors concatenated.
+  harmony::PointI best_configuration;
+  double best_wips = 0.0;
+  /// First iteration after which no significant improvement occurred
+  /// (Table 4 "Iterations"); nullopt when never converged.
+  std::optional<std::size_t> converged_at;
+
+  /// Mean/stddev of WIPS over iterations [from, to).
+  [[nodiscard]] double mean_wips(std::size_t from, std::size_t to) const;
+  [[nodiscard]] double stddev_wips(std::size_t from, std::size_t to) const;
+};
+
+class TuningDriver {
+ public:
+  struct Options {
+    TuningMethod method = TuningMethod::kDuplication;
+    harmony::SessionOptions session{};
+  };
+
+  TuningDriver(SystemModel& system, Experiment& experiment, Options options);
+
+  /// Runs `iterations` tuning iterations, then validates the top
+  /// candidate configurations with `validation_iterations` extra
+  /// measured iterations each (a single noisy observation can be inflated
+  /// by backlog-drain bursts after a bad configuration; validation
+  /// re-measures candidates back-to-back under identical conditions).
+  /// Pass 0 to skip validation.  Returns the recorded result with
+  /// best_configuration/best_wips resolved from the validation pass.
+  TuningResult run(std::size_t iterations,
+                   std::size_t validation_iterations = 2);
+
+  /// Applies a best-configuration vector (in the layout `run` produced for
+  /// this method) to the system — used to re-measure tuned configurations,
+  /// e.g. for the Fig 4 cross-workload study.
+  void apply_configuration(const harmony::PointI& configuration);
+
+  /// Rebuilds the Harmony sessions so the search starts from `seed`
+  /// (same layout as apply_configuration) instead of the catalogue
+  /// defaults — the prediction/warm-start path driven by
+  /// harmony::ConfigurationMemory when a known workload returns.
+  void restart_sessions(const harmony::PointI& seed);
+
+  [[nodiscard]] harmony::HarmonyServer& server() { return server_; }
+  [[nodiscard]] TuningMethod method() const { return options_.method; }
+
+ private:
+  /// Builds the Harmony sessions for the chosen method.  When `seed` is
+  /// non-null its values become the sessions' starting configuration.
+  void build_sessions(const harmony::PointI* seed = nullptr);
+  /// Applies every session's currently-asked configuration to the system.
+  void apply_pending();
+  /// Reports measured performance to every session.
+  void report(const IterationResult& result);
+  /// Concatenation of each session's best configuration.
+  [[nodiscard]] harmony::PointI concatenated_best() const;
+
+  SystemModel& system_;
+  Experiment& experiment_;
+  Options options_;
+  harmony::HarmonyServer server_;
+  std::vector<harmony::SessionId> sessions_;
+  /// kDefault: nodes in the order their slices appear in the session space.
+  std::vector<cluster::NodeId> node_order_;
+};
+
+}  // namespace ah::core

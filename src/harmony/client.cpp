@@ -1,0 +1,94 @@
+#include "harmony/client.hpp"
+
+#include <stdexcept>
+
+namespace ah::harmony {
+
+HarmonyClient::HarmonyClient(HarmonyServer& server) : server_(server) {}
+
+void HarmonyClient::require_session() const {
+  if (!has_session_) {
+    throw std::logic_error("HarmonyClient: startup() not called");
+  }
+}
+
+void HarmonyClient::require_started() const {
+  require_session();
+  if (!started_) {
+    throw std::logic_error("HarmonyClient: start() not called");
+  }
+}
+
+void HarmonyClient::startup(const std::string& application_name,
+                            SessionOptions options) {
+  if (has_session_) {
+    throw std::logic_error("HarmonyClient: startup() called twice");
+  }
+  session_ = server_.create_session(application_name, options);
+  has_session_ = true;
+}
+
+std::size_t HarmonyClient::add_variable(const std::string& name,
+                                        std::int64_t min_value,
+                                        std::int64_t max_value,
+                                        std::int64_t default_value) {
+  require_session();
+  if (started_) {
+    throw std::logic_error(
+        "HarmonyClient: add_variable() after start()");
+  }
+  const auto index = server_.register_parameter(
+      session_, TunableParameter{name, min_value, max_value, default_value});
+  variable_names_.push_back(name);
+  return index;
+}
+
+void HarmonyClient::start() {
+  require_session();
+  if (started_) {
+    throw std::logic_error("HarmonyClient: start() called twice");
+  }
+  server_.start(session_);
+  started_ = true;
+}
+
+std::map<std::string, std::int64_t> HarmonyClient::keyed(
+    const PointI& values) const {
+  std::map<std::string, std::int64_t> out;
+  for (std::size_t i = 0; i < variable_names_.size(); ++i) {
+    out[variable_names_[i]] = values.at(i);
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> HarmonyClient::request_all() const {
+  require_started();
+  return keyed(server_.get_configuration(session_));
+}
+
+PointI HarmonyClient::request_values() const {
+  require_started();
+  return server_.get_configuration(session_);
+}
+
+void HarmonyClient::performance_update(double performance) {
+  require_started();
+  server_.report_performance(session_, performance);
+}
+
+std::map<std::string, std::int64_t> HarmonyClient::best_all() const {
+  require_started();
+  return keyed(server_.best_configuration(session_));
+}
+
+double HarmonyClient::best_performance() const {
+  require_started();
+  return server_.best_performance(session_);
+}
+
+std::size_t HarmonyClient::evaluations() const {
+  require_started();
+  return server_.evaluations(session_);
+}
+
+}  // namespace ah::harmony

@@ -1,0 +1,108 @@
+// Harmony client API — the application-facing facade.
+//
+// Real Active Harmony applications link a small client library and talk to
+// the (remote, Tcl) Harmony server over a socket:
+//
+//   harmony_startup();
+//   harmony_add_variable("cache_mem", 2, 512, 8);
+//   ...
+//   while (running) {
+//     harmony_request_all();          // fetch the configuration to apply
+//     run_one_iteration();
+//     harmony_performance_update(w);  // report what it achieved
+//   }
+//
+// HarmonyClient reproduces that call shape over an in-process HarmonyServer
+// (the transport is a direct reference; the protocol structs in this header
+// document the wire messages a socket transport would carry).  Multiple
+// clients may attach to one server — each gets its own session, which is
+// exactly the parameter-partitioning deployment of paper §III.B.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harmony/server.hpp"
+
+namespace ah::harmony {
+
+/// Wire-level messages of the client/server protocol (documented for
+/// transport implementations; the in-process client bypasses
+/// serialization but follows the same state machine).
+namespace protocol {
+
+enum class MessageType : std::uint8_t {
+  kStartup,            // client -> server: create session
+  kAddVariable,        // client -> server: register a tunable
+  kStart,              // client -> server: freeze the parameter set
+  kRequestAll,         // client -> server: fetch configuration
+  kConfiguration,      // server -> client: the values to apply
+  kPerformanceUpdate,  // client -> server: observed performance
+  kBestRequest,        // client -> server: fetch best-so-far
+};
+
+struct Message {
+  MessageType type{};
+  std::string name;                  // session or variable name
+  std::int64_t min_value = 0;        // kAddVariable
+  std::int64_t max_value = 0;        // kAddVariable
+  std::int64_t default_value = 0;    // kAddVariable
+  std::vector<std::int64_t> values;  // kConfiguration
+  double performance = 0.0;          // kPerformanceUpdate
+};
+
+}  // namespace protocol
+
+class HarmonyClient {
+ public:
+  /// Attaches to a server.  The server must outlive the client.
+  explicit HarmonyClient(HarmonyServer& server);
+
+  /// harmony_startup: opens this client's tuning session.
+  /// Throws std::logic_error when called twice.
+  void startup(const std::string& application_name,
+               SessionOptions options = {});
+
+  /// harmony_add_variable: registers a tunable.  Returns its index.
+  /// Must be called between startup() and start().
+  std::size_t add_variable(const std::string& name, std::int64_t min_value,
+                           std::int64_t max_value,
+                           std::int64_t default_value);
+
+  /// Freezes the variable set and starts the tuning session.
+  void start();
+
+  /// harmony_request_all: the configuration to apply for the next
+  /// iteration.  Values are keyed by variable name.
+  [[nodiscard]] std::map<std::string, std::int64_t> request_all() const;
+
+  /// Positional variant of request_all (registration order).
+  [[nodiscard]] PointI request_values() const;
+
+  /// harmony_performance_update: reports the performance achieved under
+  /// the configuration from the last request (higher is better).
+  void performance_update(double performance);
+
+  /// Best configuration and performance seen so far.
+  [[nodiscard]] std::map<std::string, std::int64_t> best_all() const;
+  [[nodiscard]] double best_performance() const;
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] std::size_t evaluations() const;
+
+ private:
+  void require_session() const;
+  void require_started() const;
+  [[nodiscard]] std::map<std::string, std::int64_t> keyed(
+      const PointI& values) const;
+
+  HarmonyServer& server_;
+  SessionId session_ = 0;
+  bool has_session_ = false;
+  bool started_ = false;
+  std::vector<std::string> variable_names_;
+};
+
+}  // namespace ah::harmony

@@ -1,0 +1,97 @@
+#include "harmony/config_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace ah::harmony {
+
+void write_configuration(std::ostream& out, const ParameterSpace& space,
+                         const PointI& values, const std::string& comment) {
+  if (values.size() != space.dimensions()) {
+    throw std::invalid_argument("write_configuration: arity mismatch");
+  }
+  if (!comment.empty()) out << "# " << comment << "\n";
+  for (std::size_t i = 0; i < space.dimensions(); ++i) {
+    out << space.parameter(i).name << " = " << values[i] << "\n";
+  }
+}
+
+void save_configuration(const std::string& path, const ParameterSpace& space,
+                        const PointI& values, const std::string& comment) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_configuration: cannot open " + path);
+  }
+  write_configuration(out, space, values, comment);
+  if (!out) {
+    throw std::runtime_error("save_configuration: write failed: " + path);
+  }
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+PointI read_configuration(std::istream& in, const ParameterSpace& space) {
+  PointI values = space.defaults();
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(common::format(
+          "read_configuration: line {}: expected 'name = value'",
+          line_number));
+    }
+    const std::string name = trim(trimmed.substr(0, eq));
+    const std::string value_text = trim(trimmed.substr(eq + 1));
+    std::size_t index;
+    try {
+      index = space.index_of(name);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument(common::format(
+          "read_configuration: line {}: unknown parameter '{}'",
+          line_number, name));
+    }
+    std::int64_t value;
+    try {
+      std::size_t consumed = 0;
+      value = std::stoll(value_text, &consumed);
+      if (consumed != value_text.size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::invalid_argument(common::format(
+          "read_configuration: line {}: bad value '{}'", line_number,
+          value_text));
+    }
+    const auto& param = space.parameter(index);
+    values[index] = std::clamp(value, param.min_value, param.max_value);
+  }
+  return values;
+}
+
+PointI load_configuration(const std::string& path,
+                          const ParameterSpace& space) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_configuration: cannot open " + path);
+  }
+  return read_configuration(in, space);
+}
+
+}  // namespace ah::harmony

@@ -1,0 +1,40 @@
+// Configuration serialization.
+//
+// Tuned configurations are operational artifacts: the administrator saves
+// the best configuration Harmony found and re-applies it after a restart
+// (or ships it to a sister deployment).  The format is a line-oriented
+// `name = value` file with `#` comments — the same shape as the server
+// configuration files (squid.conf, my.cnf) the values came from, so a
+// human can read and hand-edit it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "harmony/parameter.hpp"
+
+namespace ah::harmony {
+
+/// Writes `values` (aligned with `space`) as "name = value" lines.
+void write_configuration(std::ostream& out, const ParameterSpace& space,
+                         const PointI& values,
+                         const std::string& comment = {});
+
+/// Convenience: writes to a file.  Throws std::runtime_error on I/O error,
+/// std::invalid_argument on arity mismatch.
+void save_configuration(const std::string& path, const ParameterSpace& space,
+                        const PointI& values,
+                        const std::string& comment = {});
+
+/// Parses a configuration stream produced by write_configuration (or by
+/// hand).  Unknown names throw std::invalid_argument; missing names keep
+/// the space's defaults; out-of-bounds values are clamped.
+[[nodiscard]] PointI read_configuration(std::istream& in,
+                                        const ParameterSpace& space);
+
+/// Convenience: reads from a file.  Throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] PointI load_configuration(const std::string& path,
+                                        const ParameterSpace& space);
+
+}  // namespace ah::harmony

@@ -1,0 +1,89 @@
+#include "harmony/library_layer.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ah::harmony {
+
+OperationFamily::OperationFamily(std::string name, Options options)
+    : name_(std::move(name)), options_(options), rng_(options.seed) {
+  if (options_.buckets == 0) {
+    throw std::invalid_argument("OperationFamily: zero buckets");
+  }
+  if (options_.explore_rate < 0.0 || options_.explore_rate >= 1.0) {
+    throw std::invalid_argument("OperationFamily: bad explore_rate");
+  }
+}
+
+std::size_t OperationFamily::register_implementation(std::string name) {
+  impls_.push_back(std::move(name));
+  cells_.resize(impls_.size() * options_.buckets);
+  return impls_.size() - 1;
+}
+
+const std::string& OperationFamily::implementation_name(std::size_t i) const {
+  return impls_.at(i);
+}
+
+const OperationFamily::Cell& OperationFamily::cell(std::size_t impl,
+                                                   std::size_t bucket) const {
+  if (impl >= impls_.size() || bucket >= options_.buckets) {
+    throw std::out_of_range("OperationFamily: bad impl/bucket");
+  }
+  return cells_[impl * options_.buckets + bucket];
+}
+
+OperationFamily::Cell& OperationFamily::cell(std::size_t impl,
+                                             std::size_t bucket) {
+  return const_cast<Cell&>(
+      static_cast<const OperationFamily*>(this)->cell(impl, bucket));
+}
+
+std::size_t OperationFamily::incumbent(std::size_t bucket) const {
+  if (impls_.empty()) {
+    throw std::logic_error("OperationFamily: no implementations");
+  }
+  // Unmeasured implementations take priority (try everything once).
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    if (cell(i, bucket).calls == 0) return i;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < impls_.size(); ++i) {
+    if (cell(i, bucket).cost_ewma < cell(best, bucket).cost_ewma) best = i;
+  }
+  return best;
+}
+
+std::size_t OperationFamily::select(std::size_t bucket) {
+  const std::size_t leader = incumbent(bucket);
+  if (impls_.size() > 1 && cell(leader, bucket).calls > 0 &&
+      rng_.bernoulli(options_.explore_rate)) {
+    // Explore one of the non-incumbent implementations.
+    const auto offset = static_cast<std::size_t>(rng_.uniform_int(
+        1, static_cast<std::int64_t>(impls_.size()) - 1));
+    return (leader + offset) % impls_.size();
+  }
+  return leader;
+}
+
+void OperationFamily::report(std::size_t impl, double cost,
+                             std::size_t bucket) {
+  Cell& c = cell(impl, bucket);
+  c.cost_ewma = c.calls == 0
+                    ? cost
+                    : options_.cost_alpha * cost +
+                          (1.0 - options_.cost_alpha) * c.cost_ewma;
+  ++c.calls;
+}
+
+double OperationFamily::estimated_cost(std::size_t impl,
+                                       std::size_t bucket) const {
+  return cell(impl, bucket).cost_ewma;
+}
+
+std::uint64_t OperationFamily::calls(std::size_t impl,
+                                     std::size_t bucket) const {
+  return cell(impl, bucket).calls;
+}
+
+}  // namespace ah::harmony

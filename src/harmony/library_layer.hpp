@@ -1,0 +1,140 @@
+// Library Specification Layer (paper Figure 2).
+//
+// "The Library Specification Layer provides a uniform API to library users
+//  by integrating different libraries with the same or similar
+//  functionality.  This layer uses the Harmony Controller to select among
+//  different implementations of the library [and] also monitors the
+//  performance of the library to improve the decision for future usage."
+//
+// An OperationFamily registers N implementations of one operation (the
+// paper's example: heap sort vs quick-sort).  Each call is dispatched to an
+// implementation chosen by the controller; the caller reports the observed
+// cost, and the selection policy converges on the cheapest implementation
+// while keeping a small exploration budget so it can track phase changes
+// (an implementation that is best on small inputs may lose on large ones —
+// families can be keyed by a caller-provided context bucket).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ah::harmony {
+
+class OperationFamily {
+ public:
+  struct Options {
+    /// Fraction of calls spent exploring non-incumbent implementations.
+    double explore_rate = 0.10;
+    /// EWMA weight for the per-implementation cost estimate.
+    double cost_alpha = 0.2;
+    /// Number of context buckets (e.g. input-size classes).  Selection
+    /// statistics are kept per bucket.
+    std::size_t buckets = 1;
+    std::uint64_t seed = 1;
+  };
+
+  explicit OperationFamily(std::string name)
+      : OperationFamily(std::move(name), Options{}) {}
+  OperationFamily(std::string name, Options options);
+
+  /// Registers an implementation; returns its index.
+  std::size_t register_implementation(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t implementations() const { return impls_.size(); }
+  [[nodiscard]] const std::string& implementation_name(std::size_t i) const;
+
+  /// Chooses the implementation for the next call in `bucket`.
+  /// Mostly the current-best; sometimes an exploratory pick.
+  [[nodiscard]] std::size_t select(std::size_t bucket = 0);
+
+  /// Reports the observed cost of a call that used implementation `impl`
+  /// in `bucket` (lower is better; any consistent unit).
+  void report(std::size_t impl, double cost, std::size_t bucket = 0);
+
+  /// Current cost estimate (EWMA) of an implementation in a bucket;
+  /// negative when never measured.
+  [[nodiscard]] double estimated_cost(std::size_t impl,
+                                      std::size_t bucket = 0) const;
+
+  /// Implementation currently considered best for a bucket (the one
+  /// `select` exploits).  Unmeasured implementations are preferred so every
+  /// option is tried at least once.
+  [[nodiscard]] std::size_t incumbent(std::size_t bucket = 0) const;
+
+  [[nodiscard]] std::uint64_t calls(std::size_t impl,
+                                    std::size_t bucket = 0) const;
+
+ private:
+  struct Cell {
+    double cost_ewma = -1.0;  // -1 = never measured
+    std::uint64_t calls = 0;
+  };
+
+  [[nodiscard]] const Cell& cell(std::size_t impl, std::size_t bucket) const;
+  [[nodiscard]] Cell& cell(std::size_t impl, std::size_t bucket);
+
+  std::string name_;
+  Options options_;
+  std::vector<std::string> impls_;
+  /// impls_ x buckets matrix, row-major by implementation.
+  std::vector<Cell> cells_;
+  common::Rng rng_;
+};
+
+/// Convenience wrapper: a callable family of implementations with
+/// automatic timing/report, for in-process use.
+///
+///   TunedOperation<void(std::span<int>)> sorter("sort");
+///   sorter.add("heap",  [](auto s) { heap_sort(s); });
+///   sorter.add("quick", [](auto s) { quick_sort(s); });
+///   sorter(my_span);                       // dispatched + learned
+///
+/// The cost metric is the caller-supplied clock (defaults to a simple
+/// invocation counter when no clock is given), so the wrapper works inside
+/// the simulator as well as in real code.
+template <typename Signature>
+class TunedOperation;
+
+template <typename... Args>
+class TunedOperation<void(Args...)> {
+ public:
+  using Impl = std::function<void(Args...)>;
+  using Clock = std::function<double()>;
+
+  explicit TunedOperation(std::string name) : family_(std::move(name)) {}
+  TunedOperation(std::string name, OperationFamily::Options options)
+      : family_(std::move(name), options) {}
+
+  /// Sets the cost clock (e.g. wall-clock seconds or simulated time).
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  std::size_t add(std::string name, Impl impl) {
+    impls_.push_back(std::move(impl));
+    return family_.register_implementation(std::move(name));
+  }
+
+  void operator()(Args... args) { call(0, std::forward<Args>(args)...); }
+
+  /// Invokes in a specific context bucket.
+  void call(std::size_t bucket, Args... args) {
+    const std::size_t choice = family_.select(bucket);
+    const double start = clock_ ? clock_() : 0.0;
+    impls_[choice](std::forward<Args>(args)...);
+    const double cost = clock_ ? clock_() - start : 1.0;
+    family_.report(choice, cost, bucket);
+  }
+
+  [[nodiscard]] OperationFamily& family() { return family_; }
+
+ private:
+  OperationFamily family_;
+  std::vector<Impl> impls_;
+  Clock clock_;
+};
+
+}  // namespace ah::harmony

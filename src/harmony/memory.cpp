@@ -1,0 +1,50 @@
+#include "harmony/memory.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ah::harmony {
+
+double ConfigurationMemory::distance(const Signature& a, const Signature& b) {
+  if (a.size() != b.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void ConfigurationMemory::remember(Signature signature, PointI configuration,
+                                   double performance, std::string label) {
+  for (auto& entry : entries_) {
+    if (distance(entry.signature, signature) <= match_radius_) {
+      if (performance > entry.performance) {
+        entry = Entry{std::move(signature), std::move(configuration),
+                      performance, std::move(label)};
+      }
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(signature), std::move(configuration),
+                           performance, std::move(label)});
+}
+
+std::optional<ConfigurationMemory::Entry> ConfigurationMemory::recall(
+    const Signature& signature) const {
+  const Entry* best = nullptr;
+  double best_distance = match_radius_;
+  for (const auto& entry : entries_) {
+    const double d = distance(entry.signature, signature);
+    if (d <= best_distance) {
+      best_distance = d;
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace ah::harmony

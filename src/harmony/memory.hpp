@@ -1,0 +1,61 @@
+// Configuration memory: remember tuned configurations per workload.
+//
+// Active Harmony's companion work ("Prediction and Adaptation in Active
+// Harmony", HPDC'98) keeps a database of past executions so a new run can
+// start from a configuration that worked for a similar situation instead
+// of from scratch.  This module is that database in miniature: entries map
+// a numeric *workload signature* (any feature vector — e.g. [browse
+// fraction, offered load]) to the best configuration observed under it.
+// `recall` returns the nearest stored signature within a match radius;
+// `TuningDriver::restart_sessions` can then seed a fresh simplex from it,
+// which is how the changing-workload experiment adapts in a handful of
+// iterations instead of re-exploring 24 vertices.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harmony/parameter.hpp"
+
+namespace ah::harmony {
+
+class ConfigurationMemory {
+ public:
+  using Signature = std::vector<double>;
+
+  struct Entry {
+    Signature signature;
+    PointI configuration;
+    double performance = 0.0;  // higher is better
+    std::string label;
+  };
+
+  /// `match_radius` is the maximum (L2) signature distance `recall` will
+  /// accept; signatures should be pre-normalized by the caller.
+  explicit ConfigurationMemory(double match_radius = 0.25)
+      : match_radius_(match_radius) {}
+
+  /// Stores (or upgrades) an entry.  An existing entry with a signature
+  /// within the match radius is replaced when the new performance is
+  /// higher; otherwise the new entry is appended.
+  void remember(Signature signature, PointI configuration,
+                double performance, std::string label = {});
+
+  /// Nearest stored entry within the match radius, if any.
+  [[nodiscard]] std::optional<Entry> recall(const Signature& signature) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// L2 distance between signatures; infinity on arity mismatch.
+  [[nodiscard]] static double distance(const Signature& a, const Signature& b);
+
+ private:
+  double match_radius_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ah::harmony

@@ -1,0 +1,117 @@
+#include "harmony/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace ah::harmony {
+
+ParameterSpace::ParameterSpace(std::vector<TunableParameter> parameters) {
+  for (auto& p : parameters) add(std::move(p));
+}
+
+std::size_t ParameterSpace::add(TunableParameter parameter) {
+  if (parameter.min_value > parameter.max_value) {
+    throw std::invalid_argument(common::format(
+        "parameter '{}': min {} > max {}", parameter.name,
+        parameter.min_value, parameter.max_value));
+  }
+  if (!parameter.contains(parameter.default_value)) {
+    throw std::invalid_argument(common::format(
+        "parameter '{}': default {} outside [{}, {}]", parameter.name,
+        parameter.default_value, parameter.min_value, parameter.max_value));
+  }
+  parameters_.push_back(std::move(parameter));
+  return parameters_.size() - 1;
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].name == name) return i;
+  }
+  throw std::out_of_range("unknown parameter: " + name);
+}
+
+PointI ParameterSpace::defaults() const {
+  PointI point;
+  point.reserve(parameters_.size());
+  for (const auto& p : parameters_) point.push_back(p.default_value);
+  return point;
+}
+
+bool ParameterSpace::valid(const PointI& point) const {
+  if (point.size() != parameters_.size()) return false;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    if (!parameters_[i].contains(point[i])) return false;
+  }
+  return true;
+}
+
+PointI ParameterSpace::project(const PointD& point) const {
+  if (point.size() != parameters_.size()) {
+    throw std::invalid_argument("project: arity mismatch");
+  }
+  PointI out(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    const auto rounded = static_cast<std::int64_t>(std::llround(point[i]));
+    out[i] = std::clamp(rounded, parameters_[i].min_value,
+                        parameters_[i].max_value);
+  }
+  return out;
+}
+
+PointI ParameterSpace::clamp(PointI point) const {
+  if (point.size() != parameters_.size()) {
+    throw std::invalid_argument("clamp: arity mismatch");
+  }
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    point[i] = std::clamp(point[i], parameters_[i].min_value,
+                          parameters_[i].max_value);
+  }
+  return point;
+}
+
+PointI ParameterSpace::random_point(common::Rng& rng) const {
+  PointI point;
+  point.reserve(parameters_.size());
+  for (const auto& p : parameters_) {
+    point.push_back(rng.uniform_int(p.min_value, p.max_value));
+  }
+  return point;
+}
+
+PointD ParameterSpace::to_continuous(const PointI& point) {
+  PointD out;
+  out.reserve(point.size());
+  for (const std::int64_t v : point) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+ParameterSpace ParameterSpace::subspace(
+    std::span<const std::size_t> indices) const {
+  ParameterSpace sub;
+  for (const std::size_t idx : indices) sub.add(parameters_.at(idx));
+  return sub;
+}
+
+void ParameterSpace::scatter(std::span<const std::size_t> indices,
+                             const PointI& sub_values, PointI& full) {
+  if (indices.size() != sub_values.size()) {
+    throw std::invalid_argument("scatter: arity mismatch");
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    full.at(indices[i]) = sub_values[i];
+  }
+}
+
+PointI ParameterSpace::gather(std::span<const std::size_t> indices,
+                              const PointI& full) {
+  PointI sub;
+  sub.reserve(indices.size());
+  for (const std::size_t idx : indices) sub.push_back(full.at(idx));
+  return sub;
+}
+
+}  // namespace ah::harmony

@@ -1,0 +1,96 @@
+// Tunable parameters and the parameter space.
+//
+// Active Harmony treats each tunable parameter as one dimension of a
+// bounded integer lattice.  A ParameterSpace is an ordered list of such
+// dimensions; configurations are integer vectors in lattice order.  The
+// space also owns the continuous→lattice projection (round + clamp) that
+// adapts the Nelder–Mead simplex to this discrete domain (paper §II.B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ah::harmony {
+
+struct TunableParameter {
+  std::string name;
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 0;
+  std::int64_t default_value = 0;
+
+  [[nodiscard]] std::int64_t range() const { return max_value - min_value; }
+  [[nodiscard]] bool contains(std::int64_t v) const {
+    return v >= min_value && v <= max_value;
+  }
+};
+
+/// An integer configuration, in parameter-space order.
+using PointI = std::vector<std::int64_t>;
+/// A continuous point (internal simplex representation).
+using PointD = std::vector<double>;
+
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+  explicit ParameterSpace(std::vector<TunableParameter> parameters);
+
+  /// Appends a dimension; returns its index.
+  /// Throws std::invalid_argument when bounds are inverted or the default
+  /// is out of bounds.
+  std::size_t add(TunableParameter parameter);
+
+  [[nodiscard]] std::size_t dimensions() const { return parameters_.size(); }
+  [[nodiscard]] bool empty() const { return parameters_.empty(); }
+  [[nodiscard]] const TunableParameter& parameter(std::size_t i) const {
+    return parameters_.at(i);
+  }
+  [[nodiscard]] const std::vector<TunableParameter>& parameters() const {
+    return parameters_;
+  }
+
+  /// Index of a parameter by name; throws std::out_of_range when unknown.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// The default configuration.
+  [[nodiscard]] PointI defaults() const;
+
+  /// True when `point` has the right arity and every value is in bounds.
+  [[nodiscard]] bool valid(const PointI& point) const;
+
+  /// Projects a continuous point onto the lattice: nearest integer, clamped
+  /// to bounds (the paper's adaptation of Nelder–Mead to discrete spaces).
+  [[nodiscard]] PointI project(const PointD& point) const;
+
+  /// Clamps an integer point into bounds.
+  [[nodiscard]] PointI clamp(PointI point) const;
+
+  /// Uniform random lattice point (used by random-restart tests).
+  [[nodiscard]] PointI random_point(common::Rng& rng) const;
+
+  /// Converts to the continuous representation.
+  [[nodiscard]] static PointD to_continuous(const PointI& point);
+
+  /// A sub-space over a subset of dimensions (for parameter partitioning).
+  /// `indices` are positions in this space; they are recorded so values can
+  /// be scattered back via `scatter`.
+  [[nodiscard]] ParameterSpace subspace(
+      std::span<const std::size_t> indices) const;
+
+  /// Writes `sub_values` (in subspace order, as produced against the result
+  /// of `subspace(indices)`) into `full` at the given indices.
+  static void scatter(std::span<const std::size_t> indices,
+                      const PointI& sub_values, PointI& full);
+
+  /// Reads the values at `indices` out of `full` (inverse of scatter).
+  [[nodiscard]] static PointI gather(std::span<const std::size_t> indices,
+                                     const PointI& full);
+
+ private:
+  std::vector<TunableParameter> parameters_;
+};
+
+}  // namespace ah::harmony

@@ -1,0 +1,117 @@
+#include "harmony/reconfig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace ah::harmony {
+
+Reconfigurer::Reconfigurer(ReconfigOptions options)
+    : options_(std::move(options)) {
+  if (options_.resources.empty()) {
+    throw std::invalid_argument("Reconfigurer: no resource policies");
+  }
+  for (const auto& r : options_.resources) {
+    if (r.low_threshold > r.high_threshold) {
+      throw std::invalid_argument("Reconfigurer: low threshold > high");
+    }
+  }
+}
+
+double Reconfigurer::urgency(const NodeReading& reading) const {
+  assert(reading.utilization.size() == options_.resources.size());
+  double degree = 0.0;
+  for (std::size_t j = 0; j < options_.resources.size(); ++j) {
+    const auto& policy = options_.resources[j];
+    if (reading.utilization[j] > policy.high_threshold) {
+      degree = std::max(degree, policy.urgency_weight *
+                                    (reading.utilization[j] -
+                                     policy.high_threshold));
+    }
+  }
+  return degree;
+}
+
+std::vector<const NodeReading*> Reconfigurer::overloaded(
+    std::span<const NodeReading> readings) const {
+  std::vector<const NodeReading*> list;
+  for (const auto& r : readings) {
+    if (urgency(r) > 0.0) list.push_back(&r);
+  }
+  // Step 3: most urgent first.  Node id breaks ties deterministically.
+  std::stable_sort(list.begin(), list.end(),
+                   [this](const NodeReading* a, const NodeReading* b) {
+                     const double ua = urgency(*a);
+                     const double ub = urgency(*b);
+                     if (ua != ub) return ua > ub;
+                     return a->node_id < b->node_id;
+                   });
+  return list;
+}
+
+std::vector<const NodeReading*> Reconfigurer::idle(
+    std::span<const NodeReading> readings) const {
+  std::vector<const NodeReading*> list;
+  for (const auto& r : readings) {
+    assert(r.utilization.size() == options_.resources.size());
+    bool all_low = true;
+    for (std::size_t j = 0; j < options_.resources.size(); ++j) {
+      if (r.utilization[j] > options_.resources[j].low_threshold) {
+        all_low = false;
+        break;
+      }
+    }
+    if (all_low) list.push_back(&r);
+  }
+  return list;
+}
+
+double Reconfigurer::move_cost(const NodeReading& donor) const {
+  // Eq. 1: F + N_k * M_km - N_k * A_k.
+  return options_.config_cost_seconds +
+         donor.jobs * donor.move_cost_seconds -
+         donor.jobs * donor.avg_process_seconds;
+}
+
+std::optional<ReconfigDecision> Reconfigurer::decide(
+    std::span<const NodeReading> readings) const {
+  const auto hot = overloaded(readings);
+  if (hot.empty()) return std::nullopt;
+  const auto cold = idle(readings);
+  if (cold.empty()) return std::nullopt;
+
+  // Tier populations, for the "at least one node left per tier" rule
+  // (step 4(b)).
+  std::map<int, int> tier_size;
+  for (const auto& r : readings) ++tier_size[r.tier];
+
+  // The paper takes i = Head(L1); when no donor qualifies for it we fall
+  // through to the next most urgent node rather than giving up (a natural
+  // generalisation — with a single overloaded node the behaviour is
+  // identical).
+  for (const NodeReading* i : hot) {
+    const NodeReading* best_donor = nullptr;
+    double best_cost = std::numeric_limits<double>::max();
+    for (const NodeReading* k : cold) {
+      if (k->tier == i->tier) continue;            // 4(a)
+      if (tier_size[k->tier] <= 1) continue;       // 4(b)
+      const double cost = move_cost(*k);           // 4(c)
+      if (cost < best_cost ||
+          (cost == best_cost && best_donor != nullptr &&
+           k->node_id < best_donor->node_id)) {
+        best_cost = cost;
+        best_donor = k;
+      }
+    }
+    if (best_donor != nullptr) {
+      return ReconfigDecision{
+          i->node_id,      best_donor->node_id, best_donor->tier,
+          i->tier,         best_cost,           best_cost <= 0.0};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ah::harmony

@@ -1,0 +1,98 @@
+// Automatic cluster reconfiguration (paper §IV, Table 5, Figure 6, Eq. 1).
+//
+// Periodically (every R tuning iterations — much less often than parameter
+// tuning), Active Harmony inspects smoothed per-node resource utilization
+// and decides whether to re-purpose an under-utilized node into the tier of
+// an over-utilized one:
+//
+//   1. L1 := nodes with ANY resource above its high threshold   (overloaded)
+//   2. L2 := nodes with ALL resources at/below their low threshold (idle)
+//   3. sort L1 by degree of urgency (resource-priority weighted overload)
+//   4. for i = head(L1): pick k in L2 with Tier(k) != Tier(i), whose tier
+//      keeps >= 1 node, minimizing  F + N_k*M_km - N_k*A_k   (Eq. 1)
+//   5. reconfigure k into Tier(i); immediately when the Eq. 1 value is
+//      non-positive (moving k's jobs to a same-tier neighbour m costs less
+//      than letting them finish), otherwise after draining.
+//
+// The module is topology-agnostic: it consumes per-node readings and
+// returns a decision; executing the move is the system model's job.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ah::harmony {
+
+/// Per-resource thresholds and urgency weight (paper Table 5: LT_ij, HT_ij
+/// plus the footnote's per-resource priority).
+struct ResourcePolicy {
+  double high_threshold = 0.85;  // HT
+  double low_threshold = 0.25;   // LT
+  double urgency_weight = 1.0;   // footnote-3 priority (CPU > network, ...)
+};
+
+/// One node's monitored state, as sampled by the utilization monitor.
+struct NodeReading {
+  std::uint32_t node_id = 0;
+  int tier = 0;  // opaque tier/group id
+  /// Utilization per resource kind, aligned with the policy vector.
+  std::vector<double> utilization;
+  /// N_k: jobs currently on the node.
+  double jobs = 0.0;
+  /// A_k: average remaining processing time per job (seconds).
+  double avg_process_seconds = 0.0;
+  /// M_km: cost to move one job to a same-tier neighbour m (seconds).
+  double move_cost_seconds = 0.0;
+};
+
+struct ReconfigOptions {
+  /// One policy per resource kind (utilization vectors must match).
+  std::vector<ResourcePolicy> resources;
+  /// F: configuration cost in seconds (restart + role switch).
+  double config_cost_seconds = 30.0;
+};
+
+struct ReconfigDecision {
+  std::uint32_t overloaded_node = 0;  // i: node being relieved
+  std::uint32_t donor_node = 0;       // k: node being re-purposed
+  int from_tier = 0;                  // Tier(k)
+  int to_tier = 0;                    // Tier(i)
+  /// Eq. 1 value for the chosen donor.
+  double cost_seconds = 0.0;
+  /// True when Eq. 1 is non-positive: migrate jobs now rather than drain.
+  bool immediate = false;
+};
+
+class Reconfigurer {
+ public:
+  explicit Reconfigurer(ReconfigOptions options);
+
+  /// Runs steps 1-5 on a snapshot of readings.  Returns std::nullopt when
+  /// no node is overloaded, no donor qualifies, or tier constraints forbid
+  /// every candidate move.
+  [[nodiscard]] std::optional<ReconfigDecision> decide(
+      std::span<const NodeReading> readings) const;
+
+  /// Step-1 helper: overloaded nodes, sorted by descending urgency.
+  [[nodiscard]] std::vector<const NodeReading*> overloaded(
+      std::span<const NodeReading> readings) const;
+
+  /// Step-2 helper: idle nodes (all resources at/below low thresholds).
+  [[nodiscard]] std::vector<const NodeReading*> idle(
+      std::span<const NodeReading> readings) const;
+
+  /// Degree of urgency of one node (0 when not overloaded).
+  [[nodiscard]] double urgency(const NodeReading& reading) const;
+
+  /// Eq. 1: F + N_k*M_km - N_k*A_k for a candidate donor.
+  [[nodiscard]] double move_cost(const NodeReading& donor) const;
+
+  [[nodiscard]] const ReconfigOptions& options() const { return options_; }
+
+ private:
+  ReconfigOptions options_;
+};
+
+}  // namespace ah::harmony

@@ -1,0 +1,66 @@
+#include "harmony/session.hpp"
+
+#include <cmath>
+
+namespace ah::harmony {
+
+namespace {
+std::unique_ptr<Tuner> make_tuner(ParameterSpace space,
+                                  const SessionOptions& options) {
+  switch (options.kernel) {
+    case TuningKernel::kSimplex:
+      return std::make_unique<SimplexTuner>(std::move(space),
+                                            options.simplex);
+    case TuningKernel::kRandomSearch:
+      return std::make_unique<RandomSearchTuner>(std::move(space),
+                                                 options.seed);
+    case TuningKernel::kCoordinateDescent:
+      return std::make_unique<CoordinateDescentTuner>(std::move(space),
+                                                      options.coordinate);
+  }
+  return nullptr;
+}
+}  // namespace
+
+TuningSession::TuningSession(std::string name, ParameterSpace space,
+                             SessionOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      tuner_(make_tuner(std::move(space), options)) {}
+
+void TuningSession::tell(double cost) {
+  observe(tuner_->ask(), cost);
+  tuner_->tell(cost);
+}
+
+void TuningSession::report(std::span<const double> costs) {
+  for (const double cost : costs) tell(cost);
+}
+
+void TuningSession::observe(const PointI& configuration, double cost) {
+  history_.push_back(HistoryEntry{configuration, cost});
+  const std::size_t index = history_.size() - 1;
+  if (!has_best_) {
+    has_best_ = true;
+    best_seen_ = cost;
+    last_improvement_ = index;
+    return;
+  }
+  // Relative improvement against the best seen so far.  Costs may be
+  // negative (negated WIPS), so normalize by magnitude.
+  const double scale = std::max(1e-12, std::abs(best_seen_));
+  if ((best_seen_ - cost) / scale > options_.improvement_epsilon) {
+    best_seen_ = cost;
+    last_improvement_ = index;
+  }
+}
+
+std::optional<std::size_t> TuningSession::converged_at() const {
+  if (!has_best_) return std::nullopt;
+  if (history_.size() - 1 - last_improvement_ >= options_.patience) {
+    return last_improvement_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ah::harmony

@@ -1,0 +1,96 @@
+// A tuning session: one SimplexTuner plus the bookkeeping the experiments
+// need — per-iteration history, best-so-far tracking, and the
+// "iterations to converge" figure reported in the paper's Table 4.
+//
+// Convergence is declared when the best cost has not improved by more than
+// `improvement_epsilon` (relative) for `patience` consecutive evaluations;
+// the convergence iteration is the evaluation index of the last
+// improvement.  The session never stops proposing points (Active Harmony
+// tunes continuously); convergence is purely an observation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "harmony/baselines.hpp"
+#include "harmony/parameter.hpp"
+#include "harmony/simplex.hpp"
+#include "harmony/tuner.hpp"
+
+namespace ah::harmony {
+
+/// Which search kernel drives the session (the paper uses kSimplex; the
+/// baselines exist for the kernel ablation).
+enum class TuningKernel { kSimplex, kRandomSearch, kCoordinateDescent };
+
+struct SessionOptions {
+  TuningKernel kernel = TuningKernel::kSimplex;
+  SimplexOptions simplex;
+  CoordinateDescentTuner::Options coordinate;
+  std::uint64_t seed = 1;  // used by kRandomSearch
+  /// Relative improvement below which an evaluation does not reset the
+  /// convergence clock.
+  double improvement_epsilon = 0.01;
+  /// Evaluations without improvement after which the session counts as
+  /// converged.
+  std::size_t patience = 25;
+};
+
+class TuningSession {
+ public:
+  struct HistoryEntry {
+    PointI configuration;
+    double cost = 0.0;
+  };
+
+  TuningSession(std::string name, ParameterSpace space,
+                SessionOptions options = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ParameterSpace& space() const {
+    return tuner_->space();
+  }
+  [[nodiscard]] Tuner& tuner() { return *tuner_; }
+
+  /// Points awaiting evaluation (>= 1; the whole batch during init/shrink).
+  [[nodiscard]] std::vector<PointI> pending() const {
+    return tuner_->pending();
+  }
+
+  /// Sequential protocol (see Tuner).
+  [[nodiscard]] PointI ask() const { return tuner_->ask(); }
+  void tell(double cost);
+
+  /// Batch protocol.
+  void report(std::span<const double> costs);
+
+  [[nodiscard]] const PointI& best() const { return tuner_->best(); }
+  [[nodiscard]] double best_cost() const { return tuner_->best_cost(); }
+
+  [[nodiscard]] const std::vector<HistoryEntry>& history() const {
+    return history_;
+  }
+  [[nodiscard]] std::size_t evaluations() const { return history_.size(); }
+
+  /// Evaluation index of the last significant improvement, once the session
+  /// has gone `patience` evaluations without one.
+  [[nodiscard]] std::optional<std::size_t> converged_at() const;
+
+ private:
+  void observe(const PointI& configuration, double cost);
+
+  std::string name_;
+  SessionOptions options_;
+  std::unique_ptr<Tuner> tuner_;
+  std::vector<HistoryEntry> history_;
+
+  double best_seen_ = 0.0;
+  bool has_best_ = false;
+  std::size_t last_improvement_ = 0;
+};
+
+}  // namespace ah::harmony

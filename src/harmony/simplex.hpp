@@ -1,0 +1,134 @@
+// Integer-adapted Nelder–Mead simplex tuner (paper §II.B).
+//
+// The Active Harmony adaptation controller searches the configuration space
+// with the Nelder–Mead simplex method, adapted to this domain in two ways:
+//
+//   1. The objective is only defined on a bounded integer lattice, so every
+//      proposed continuous point is *projected* (rounded and clamped) before
+//      evaluation, and the measured cost stands in for the continuous value
+//      ("simply using the resulting values from the nearest integer point").
+//   2. Evaluation is external and asynchronous — one evaluation is one
+//      measured iteration of the running system — so the tuner exposes an
+//      ask/tell protocol rather than taking a callback.  Batch variants
+//      expose all points awaiting evaluation at once (the whole initial
+//      simplex, or all shrink replacements), which is what the parallel
+//      evaluation in the cluster-tuning experiments exploits.
+//
+// Costs are minimized; callers maximizing a metric (WIPS) report its
+// negation.  The optional extreme-value damping implements the improvement
+// the paper proposes in §III.A: proposals that clamp against parameter
+// bounds are pulled back toward the centroid instead of sitting on the
+// boundary.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "harmony/parameter.hpp"
+#include "harmony/tuner.hpp"
+
+namespace ah::harmony {
+
+struct SimplexOptions {
+  double reflection = 1.0;   // alpha
+  double expansion = 2.0;    // gamma
+  double contraction = 0.5;  // beta
+  double shrink = 0.5;       // delta
+  /// Initial vertex offset as a fraction of each parameter's range
+  /// (at least one lattice step).
+  double init_scale = 0.25;
+  /// Pull bound-clamped proposals toward the centroid (paper §III.A
+  /// "slowly approach extreme values" future-work idea; see the ablation
+  /// bench).
+  bool damp_extremes = false;
+  /// Blend factor toward the centroid when damping (0 = no move,
+  /// 1 = full collapse onto the centroid).
+  double damp_factor = 0.5;
+};
+
+class SimplexTuner final : public Tuner {
+ public:
+  enum class Phase {
+    kInit,             // evaluating the initial simplex
+    kReflect,          // evaluating a reflection point
+    kExpand,           // evaluating an expansion point
+    kContract,         // evaluating a contraction point
+    kShrink,           // evaluating shrink replacements
+  };
+
+  SimplexTuner(ParameterSpace space, SimplexOptions options = {});
+
+  SimplexTuner(const SimplexTuner&) = delete;
+  SimplexTuner& operator=(const SimplexTuner&) = delete;
+
+  [[nodiscard]] const ParameterSpace& space() const override {
+    return space_;
+  }
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  // -- Batch protocol ---------------------------------------------------
+  /// All lattice points currently awaiting evaluation (never empty).
+  [[nodiscard]] std::vector<PointI> pending() const override;
+  /// Reports costs for *all* pending points, in the order `pending()`
+  /// returned them, then advances the search.
+  void report(std::span<const double> costs) override;
+
+  // -- Sequential protocol ------------------------------------------------
+  /// Next single point to evaluate.
+  [[nodiscard]] PointI ask() const override;
+  /// Cost for the point returned by the previous ask().
+  void tell(double cost) override;
+
+  /// Best lattice point seen so far and its cost.  Valid once at least one
+  /// cost has been reported.
+  [[nodiscard]] const PointI& best() const override { return best_point_; }
+  [[nodiscard]] double best_cost() const override { return best_cost_; }
+
+  [[nodiscard]] std::size_t evaluations() const override {
+    return evaluations_;
+  }
+  /// Simplex diameter (max vertex distance in normalized coordinates);
+  /// a convergence indicator.
+  [[nodiscard]] double diameter() const;
+
+ private:
+  struct Vertex {
+    PointD x;
+    double cost = 0.0;
+  };
+
+  /// Projects, optionally damping bound-clamped coordinates toward the
+  /// centroid `c`.
+  [[nodiscard]] PointD propose(const PointD& raw, const PointD& centroid) const;
+  void queue_point(PointD x);
+  void advance();
+  void sort_vertices();
+  [[nodiscard]] PointD centroid_excluding_worst() const;
+  void note_best(const PointD& x, double cost);
+  void begin_reflection();
+
+  ParameterSpace space_;
+  SimplexOptions options_;
+
+  std::vector<Vertex> vertices_;  // sorted by cost ascending once built
+  Phase phase_ = Phase::kInit;
+
+  // Points awaiting evaluation, with filled costs.
+  std::vector<PointD> pending_points_;
+  std::vector<std::optional<double>> pending_costs_;
+  std::size_t ask_cursor_ = 0;
+
+  // Step context.
+  PointD centroid_;
+  PointD reflected_;
+  double reflected_cost_ = 0.0;
+
+  PointI best_point_;
+  double best_cost_ = 0.0;
+  bool has_best_ = false;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace ah::harmony

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah::sim {
+
+EventId EventQueue::push(common::SimTime time, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(HeapItem{time, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Only events still pending can be cancelled; already-fired or already-
+  // cancelled ids are a no-op so callers need not track event lifetimes.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+common::SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end());
+  HeapItem item = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(item.id);
+  return Entry{item.time, item.id, std::move(item.fn)};
+}
+
+}  // namespace ah::sim

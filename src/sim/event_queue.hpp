@@ -1,0 +1,70 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap over (time, sequence) keyed events.  The sequence number
+// breaks ties so that two events scheduled for the same instant fire in
+// scheduling order — this determinism is what makes whole experiments
+// reproducible.  Cancellation is lazy: cancelled ids are skipped at pop time,
+// which keeps the hot path free of heap rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ah::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  struct Entry {
+    common::SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+
+  /// Inserts an event; returns its id (usable with `cancel`).
+  EventId push(common::SimTime time, EventFn fn);
+
+  /// Marks an event as cancelled.  Returns false when the id is unknown or
+  /// already fired (cancelling those is a no-op, not an error).
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] common::SimTime next_time();
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  Entry pop();
+
+  [[nodiscard]] std::size_t live_size() const { return live_.size(); }
+
+ private:
+  struct HeapItem {
+    common::SimTime time;
+    EventId id;
+    EventFn fn;
+
+    // std::*_heap builds a max-heap; invert so the earliest pops first.
+    bool operator<(const HeapItem& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Pops cancelled items off the heap head until a live one surfaces.
+  void drop_cancelled_head();
+
+  std::vector<HeapItem> heap_;
+  std::unordered_set<EventId> live_;       // pending, not cancelled
+  std::unordered_set<EventId> cancelled_;  // pending in heap_, cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace ah::sim

@@ -1,0 +1,65 @@
+#include "sim/monitor.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ah::sim {
+
+UtilizationMonitor::UtilizationMonitor(Simulator& sim, common::SimTime period,
+                                       double ewma_alpha)
+    : sim_(sim), period_(period), alpha_(ewma_alpha) {
+  assert(period.as_micros() > 0);
+}
+
+UtilizationMonitor::~UtilizationMonitor() { stop(); }
+
+std::size_t UtilizationMonitor::add_probe(std::string name, Probe probe) {
+  probes_.push_back(
+      Entry{std::move(name), std::move(probe), common::Ewma{alpha_}, 0.0});
+  return probes_.size() - 1;
+}
+
+void UtilizationMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void UtilizationMonitor::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void UtilizationMonitor::sample_now() {
+  for (auto& entry : probes_) {
+    entry.last_raw = entry.probe();
+    entry.ewma.add(entry.last_raw);
+  }
+  ++samples_;
+}
+
+const std::string& UtilizationMonitor::probe_name(std::size_t i) const {
+  return probes_.at(i).name;
+}
+
+double UtilizationMonitor::smoothed(std::size_t i) const {
+  return probes_.at(i).ewma.value();
+}
+
+double UtilizationMonitor::last_raw(std::size_t i) const {
+  return probes_.at(i).last_raw;
+}
+
+void UtilizationMonitor::schedule_next() {
+  pending_ = sim_.schedule(period_, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    sample_now();
+    schedule_next();
+  });
+}
+
+}  // namespace ah::sim

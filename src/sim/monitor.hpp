@@ -1,0 +1,71 @@
+// Periodic utilization sampling.
+//
+// The reconfiguration algorithm (paper Section IV) reacts to *smoothed*
+// resource utilization, not instantaneous readings; this monitor samples a
+// set of probes on a fixed period and keeps an EWMA per probe.  Probes are
+// closures so the monitor needs no knowledge of nodes or resources.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace ah::sim {
+
+class UtilizationMonitor {
+ public:
+  /// A probe returns the utilization accumulated since its previous call,
+  /// in [0, 1+] (values above 1 are possible transiently after a capacity
+  /// shrink).
+  using Probe = std::function<double()>;
+
+  UtilizationMonitor(Simulator& sim, common::SimTime period,
+                     double ewma_alpha = 0.3);
+  ~UtilizationMonitor();
+
+  UtilizationMonitor(const UtilizationMonitor&) = delete;
+  UtilizationMonitor& operator=(const UtilizationMonitor&) = delete;
+
+  /// Registers a probe; returns its index for later reads.
+  std::size_t add_probe(std::string name, Probe probe);
+
+  /// Starts (or restarts) periodic sampling.
+  void start();
+  /// Stops sampling; readings freeze at their last values.
+  void stop();
+
+  /// Forces a sample of all probes right now.
+  void sample_now();
+
+  [[nodiscard]] std::size_t probe_count() const { return probes_.size(); }
+  [[nodiscard]] const std::string& probe_name(std::size_t i) const;
+  /// Smoothed (EWMA) utilization of probe i; 0 before the first sample.
+  [[nodiscard]] double smoothed(std::size_t i) const;
+  /// Most recent raw sample of probe i; 0 before the first sample.
+  [[nodiscard]] double last_raw(std::size_t i) const;
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Probe probe;
+    common::Ewma ewma;
+    double last_raw = 0.0;
+  };
+
+  void schedule_next();
+
+  Simulator& sim_;
+  common::SimTime period_;
+  double alpha_;
+  std::vector<Entry> probes_;
+  EventId pending_ = 0;
+  bool running_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace ah::sim

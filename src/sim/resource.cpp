@@ -1,0 +1,104 @@
+#include "sim/resource.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ah::sim {
+
+Resource::Resource(Simulator& sim, std::string name, Config config)
+    : sim_(sim), name_(std::move(name)), config_(config),
+      last_account_(sim.now()) {
+  assert(config_.servers >= 0);
+  assert(config_.slowdown > 0.0);
+}
+
+void Resource::account_now() {
+  const common::SimTime now = sim_.now();
+  const std::int64_t elapsed = (now - last_account_).as_micros();
+  if (elapsed > 0) {
+    busy_integral_ += static_cast<std::int64_t>(busy_) * elapsed;
+    queue_integral_ +=
+        static_cast<std::int64_t>(queue_.size()) * elapsed;
+    last_account_ = now;
+  }
+}
+
+bool Resource::submit(common::SimTime demand, Completion on_complete) {
+  account_now();
+  if (busy_ < config_.servers) {
+    start_service(Job{demand, std::move(on_complete)});
+    return true;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(Job{demand, std::move(on_complete)});
+  return true;
+}
+
+void Resource::set_servers(int servers) {
+  assert(servers >= 0);
+  account_now();
+  config_.servers = servers;
+  start_pending();
+}
+
+void Resource::set_slowdown(double slowdown) {
+  assert(slowdown > 0.0);
+  config_.slowdown = slowdown;
+}
+
+std::int64_t Resource::busy_integral() const {
+  const_cast<Resource*>(this)->account_now();
+  return busy_integral_;
+}
+
+double Resource::utilization_since(std::int64_t integral_at_t0,
+                                   common::SimTime t0) const {
+  const std::int64_t window = (sim_.now() - t0).as_micros();
+  if (window <= 0 || config_.servers <= 0) return 0.0;
+  const std::int64_t busy_time = busy_integral() - integral_at_t0;
+  return static_cast<double>(busy_time) /
+         (static_cast<double>(config_.servers) * static_cast<double>(window));
+}
+
+std::int64_t Resource::queue_integral() const {
+  const_cast<Resource*>(this)->account_now();
+  return queue_integral_;
+}
+
+std::size_t Resource::clear_queue() {
+  account_now();
+  const std::size_t dropped = queue_.size();
+  rejected_ += dropped;
+  queue_.clear();
+  return dropped;
+}
+
+void Resource::start_pending() {
+  while (busy_ < config_.servers && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(job));
+  }
+}
+
+void Resource::start_service(Job job) {
+  ++busy_;
+  const common::SimTime service = job.demand * config_.slowdown;
+  sim_.schedule(service,
+                [this, on_complete = std::move(job.on_complete)]() mutable {
+                  on_service_done(std::move(on_complete));
+                });
+}
+
+void Resource::on_service_done(Completion on_complete) {
+  account_now();
+  --busy_;
+  ++completed_;
+  start_pending();
+  if (on_complete) on_complete();
+}
+
+}  // namespace ah::sim

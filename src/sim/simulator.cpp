@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ah::sim {
+
+EventId Simulator::schedule(common::SimTime delay, EventFn fn) {
+  return schedule_at(now_ + std::max(delay, common::SimTime::zero()),
+                     std::move(fn));
+}
+
+EventId Simulator::schedule_at(common::SimTime at, EventFn fn) {
+  return queue_.push(std::max(at, now_), std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(common::SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto entry = queue_.pop();
+    now_ = entry.time;
+    entry.fn();
+    ++count;
+  }
+  // Advance the clock to the end of the window even if the queue drained
+  // early, so subsequent scheduling is relative to the window boundary.
+  now_ = std::max(now_, until);
+  executed_ += count;
+  return count;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto entry = queue_.pop();
+  now_ = entry.time;
+  entry.fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace ah::sim

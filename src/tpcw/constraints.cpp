@@ -1,0 +1,70 @@
+#include "tpcw/constraints.hpp"
+
+#include "common/stats.hpp"
+
+namespace ah::tpcw {
+
+double wirt_limit_seconds(Interaction interaction) {
+  // TPC-W v1.8 clause 5.5.1 (seconds, 90th percentile).
+  switch (interaction) {
+    case Interaction::kHome:                 return 3.0;
+    case Interaction::kNewProducts:          return 5.0;
+    case Interaction::kBestSellers:          return 5.0;
+    case Interaction::kProductDetail:        return 3.0;
+    case Interaction::kSearchRequest:        return 3.0;
+    case Interaction::kSearchResults:        return 10.0;
+    case Interaction::kShoppingCart:         return 3.0;
+    case Interaction::kCustomerRegistration: return 3.0;
+    case Interaction::kBuyRequest:           return 3.0;
+    case Interaction::kBuyConfirm:           return 5.0;
+    case Interaction::kOrderInquiry:         return 3.0;
+    case Interaction::kOrderDisplay:         return 3.0;
+    case Interaction::kAdminRequest:         return 3.0;
+    case Interaction::kAdminConfirm:         return 20.0;
+  }
+  return 3.0;
+}
+
+void WirtTracker::record(Interaction interaction, common::SimTime latency) {
+  latencies_s_[static_cast<int>(interaction)].push_back(
+      latency.as_seconds());
+}
+
+void WirtTracker::reset() {
+  for (auto& samples : latencies_s_) samples.clear();
+}
+
+std::size_t WirtTracker::samples(Interaction interaction) const {
+  return latencies_s_[static_cast<int>(interaction)].size();
+}
+
+WirtTracker::Result WirtTracker::check(Interaction interaction) const {
+  const auto& samples = latencies_s_[static_cast<int>(interaction)];
+  Result result;
+  result.interaction = interaction;
+  result.samples = samples.size();
+  result.limit_seconds = wirt_limit_seconds(interaction);
+  if (!samples.empty()) {
+    result.p90_seconds = common::percentile(samples, 0.90);
+    result.compliant = result.p90_seconds <= result.limit_seconds;
+  }
+  return result;
+}
+
+std::vector<WirtTracker::Result> WirtTracker::check_all() const {
+  std::vector<Result> results;
+  results.reserve(kInteractionCount);
+  for (int i = 0; i < kInteractionCount; ++i) {
+    results.push_back(check(static_cast<Interaction>(i)));
+  }
+  return results;
+}
+
+bool WirtTracker::compliant() const {
+  for (int i = 0; i < kInteractionCount; ++i) {
+    if (!check(static_cast<Interaction>(i)).compliant) return false;
+  }
+  return true;
+}
+
+}  // namespace ah::tpcw

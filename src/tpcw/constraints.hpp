@@ -1,0 +1,55 @@
+// TPC-W web-interaction response-time (WIRT) constraints.
+//
+// The TPC-W specification (clause 5.5) requires that 90% of each web
+// interaction's responses complete within a per-interaction limit — a run
+// whose WIPS was achieved by starving some interaction class does not
+// comply.  This module tracks per-interaction latency samples and checks
+// the 90th percentile against the spec limits, which is how a tuned
+// configuration is shown to be *valid*, not just fast.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "tpcw/interactions.hpp"
+
+namespace ah::tpcw {
+
+/// Spec table: 90th-percentile limit per interaction, in seconds.
+[[nodiscard]] double wirt_limit_seconds(Interaction interaction);
+
+class WirtTracker {
+ public:
+  struct Result {
+    Interaction interaction{};
+    std::size_t samples = 0;
+    double p90_seconds = 0.0;
+    double limit_seconds = 0.0;
+    bool compliant = true;  // vacuously true without samples
+  };
+
+  /// Records one successful interaction's response time.
+  void record(Interaction interaction, common::SimTime latency);
+
+  /// Discards all samples (per-iteration re-arm).
+  void reset();
+
+  [[nodiscard]] std::size_t samples(Interaction interaction) const;
+
+  /// Per-interaction compliance snapshot (nearest-rank 90th percentile).
+  [[nodiscard]] Result check(Interaction interaction) const;
+
+  /// All 14 interactions.
+  [[nodiscard]] std::vector<Result> check_all() const;
+
+  /// True when every interaction with samples meets its limit.
+  [[nodiscard]] bool compliant() const;
+
+ private:
+  std::array<std::vector<double>, kInteractionCount> latencies_s_;
+};
+
+}  // namespace ah::tpcw

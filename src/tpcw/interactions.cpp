@@ -1,0 +1,118 @@
+#include "tpcw/interactions.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace ah::tpcw {
+
+namespace {
+
+using webstack::RequestProfile;
+using common::SimTime;
+
+/// Builds the immutable profile table.  Query mixes per the TPC-W page
+/// definitions: {simple selects, joins, updates, inserts}.
+std::array<RequestProfile, kInteractionCount> build_profiles() {
+  std::array<RequestProfile, kInteractionCount> p{};
+
+  auto set = [&](Interaction i, bool cacheable, int resp_kb, int proxy_us,
+                 double app_ms, int qs, int qj, int qu, int qi) {
+    auto& prof = p[static_cast<int>(i)];
+    prof.name = std::string(interaction_name(i));
+    prof.cacheable = cacheable;
+    prof.response_bytes = static_cast<common::Bytes>(resp_kb) * 1024;
+    prof.proxy_cpu = SimTime::micros(proxy_us);
+    prof.app_cpu = SimTime::seconds(app_ms / 1000.0);
+    prof.queries[0] = qs;
+    prof.queries[1] = qj;
+    prof.queries[2] = qu;
+    prof.queries[3] = qi;
+  };
+
+  // Demands are calibrated to the paper's testbed generation (dual
+  // 1.67 GHz, Java servlets, MyISAM): page generation costs tens of
+  // milliseconds and a closed loop of ~1000 emulated browsers drives the
+  // default configuration into the knee of the bottleneck tier.
+  //   interaction                 cache  KB  pxy_us app_ms  sel join upd ins
+  set(Interaction::kHome,           true, 12, 2500,  12.0,   1,  0,   0,  0);
+  set(Interaction::kNewProducts,    true, 16, 2500,  20.0,   1,  1,   0,  0);
+  set(Interaction::kBestSellers,    true, 16, 2500,  20.0,   0,  2,   0,  0);
+  set(Interaction::kProductDetail,  true, 10, 2500,  12.0,   1,  0,   0,  0);
+  set(Interaction::kSearchRequest,  true,  6, 2000,   8.0,   0,  0,   0,  0);
+  set(Interaction::kSearchResults, false, 14, 2000,  24.0,   1,  1,   0,  0);
+  set(Interaction::kShoppingCart,  false, 10, 2000,  20.0,   2,  0,   1,  0);
+  set(Interaction::kCustomerRegistration,
+                                    true,  6, 2000,   8.0,   0,  0,   0,  0);
+  set(Interaction::kBuyRequest,    false, 10, 2000,  24.0,   2,  0,   1,  1);
+  set(Interaction::kBuyConfirm,    false,  8, 2000,  32.0,   2,  0,   2,  2);
+  set(Interaction::kOrderInquiry,   true,  5, 2000,   6.0,   0,  0,   0,  0);
+  set(Interaction::kOrderDisplay,  false,  9, 2000,  20.0,   2,  1,   0,  0);
+  set(Interaction::kAdminRequest,  false,  8, 2000,  16.0,   1,  0,   0,  0);
+  set(Interaction::kAdminConfirm,  false,  8, 2000,  24.0,   1,  0,   1,  0);
+  return p;
+}
+
+const std::array<RequestProfile, kInteractionCount>& profiles() {
+  static const auto table = build_profiles();
+  return table;
+}
+
+/// TPC-W item table subjects (used by New Products / Best Sellers pages).
+constexpr std::uint64_t kSubjectCount = 24;
+
+}  // namespace
+
+std::string_view interaction_name(Interaction interaction) {
+  switch (interaction) {
+    case Interaction::kHome:                 return "Home";
+    case Interaction::kNewProducts:          return "New Products";
+    case Interaction::kBestSellers:          return "Best Sellers";
+    case Interaction::kProductDetail:        return "Product Detail";
+    case Interaction::kSearchRequest:        return "Search Request";
+    case Interaction::kSearchResults:        return "Search Results";
+    case Interaction::kShoppingCart:         return "Shopping Cart";
+    case Interaction::kCustomerRegistration: return "Customer Registration";
+    case Interaction::kBuyRequest:           return "Buy Request";
+    case Interaction::kBuyConfirm:           return "Buy Confirm";
+    case Interaction::kOrderInquiry:         return "Order Inquiry";
+    case Interaction::kOrderDisplay:         return "Order Display";
+    case Interaction::kAdminRequest:         return "Admin Request";
+    case Interaction::kAdminConfirm:         return "Admin Confirm";
+  }
+  return "?";
+}
+
+bool is_browse(Interaction interaction) {
+  switch (interaction) {
+    case Interaction::kHome:
+    case Interaction::kNewProducts:
+    case Interaction::kBestSellers:
+    case Interaction::kProductDetail:
+    case Interaction::kSearchRequest:
+    case Interaction::kSearchResults:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const webstack::RequestProfile& profile_for(Interaction interaction) {
+  return profiles()[static_cast<int>(interaction)];
+}
+
+std::uint64_t object_space(Interaction interaction,
+                           std::uint64_t item_count) {
+  if (!profile_for(interaction).cacheable) return 0;
+  switch (interaction) {
+    case Interaction::kProductDetail: return item_count;
+    case Interaction::kNewProducts:
+    case Interaction::kBestSellers:   return kSubjectCount;
+    default:                          return 1;  // single static page
+  }
+}
+
+std::uint64_t make_object_id(Interaction interaction, std::uint64_t sub_id) {
+  return (static_cast<std::uint64_t>(interaction) << 48) | sub_id;
+}
+
+}  // namespace ah::tpcw

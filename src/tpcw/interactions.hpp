@@ -1,0 +1,58 @@
+// The 14 TPC-W web interactions and their resource-demand profiles.
+//
+// Profiles encode how each interaction exercises the three tiers: which
+// pages the proxy may cache, how much servlet CPU the page generation
+// needs, and the database query mix behind it.  The split follows the
+// TPC-W 1.8 specification's page definitions (e.g. Best Sellers is a
+// two-join query; Buy Confirm writes order + order-line + updates stock).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "webstack/request.hpp"
+
+namespace ah::tpcw {
+
+enum class Interaction : int {
+  kHome = 0,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+
+inline constexpr int kInteractionCount = 14;
+
+[[nodiscard]] std::string_view interaction_name(Interaction interaction);
+
+/// True for interactions the TPC-W spec classifies as "Browse" (the rest
+/// are "Order").
+[[nodiscard]] bool is_browse(Interaction interaction);
+
+/// Demand profile for an interaction (shared, immutable).
+[[nodiscard]] const webstack::RequestProfile& profile_for(
+    Interaction interaction);
+
+/// Number of distinct cacheable objects an interaction's pages span:
+/// 1 for single static pages, the item count for product detail, the
+/// subject count for listing pages, 0 for non-cacheable interactions.
+[[nodiscard]] std::uint64_t object_space(Interaction interaction,
+                                         std::uint64_t item_count);
+
+/// Stable object-id encoding: interaction tag in the high bits, page
+/// identity in the low bits.
+[[nodiscard]] std::uint64_t make_object_id(Interaction interaction,
+                                           std::uint64_t sub_id);
+
+}  // namespace ah::tpcw

@@ -1,0 +1,47 @@
+#include "tpcw/metrics.hpp"
+
+namespace ah::tpcw {
+
+void WipsMeter::arm(common::SimTime start, common::SimTime end) {
+  start_ = start;
+  end_ = end;
+  ok_ = 0;
+  browse_ok_ = 0;
+  errors_ = 0;
+  latency_ms_.reset();
+}
+
+void WipsMeter::record(bool ok, bool browse, common::SimTime now,
+                       common::SimTime latency) {
+  if (now < start_ || now >= end_) return;
+  if (!ok) {
+    ++errors_;
+    return;
+  }
+  ++ok_;
+  if (browse) ++browse_ok_;
+  latency_ms_.add(latency.as_millis());
+}
+
+double WipsMeter::wips() const {
+  const double seconds = (end_ - start_).as_seconds();
+  return seconds > 0.0 ? static_cast<double>(ok_) / seconds : 0.0;
+}
+
+double WipsMeter::wips_browse() const {
+  const double seconds = (end_ - start_).as_seconds();
+  return seconds > 0.0 ? static_cast<double>(browse_ok_) / seconds : 0.0;
+}
+
+double WipsMeter::wips_order() const {
+  const double seconds = (end_ - start_).as_seconds();
+  return seconds > 0.0 ? static_cast<double>(ok_ - browse_ok_) / seconds : 0.0;
+}
+
+double WipsMeter::error_ratio() const {
+  const std::uint64_t total = ok_ + errors_;
+  return total > 0 ? static_cast<double>(errors_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace ah::tpcw

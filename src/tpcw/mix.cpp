@@ -1,0 +1,75 @@
+#include "tpcw/mix.hpp"
+
+#include <stdexcept>
+
+namespace ah::tpcw {
+
+std::string_view workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kBrowsing: return "Browsing";
+    case WorkloadKind::kShopping: return "Shopping";
+    case WorkloadKind::kOrdering: return "Ordering";
+  }
+  return "?";
+}
+
+Mix::Mix(const std::array<double, kInteractionCount>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Mix: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Mix: all weights zero");
+  double cumulative = 0.0;
+  for (int i = 0; i < kInteractionCount; ++i) {
+    weights_[i] = weights[i] / total;
+    cumulative += weights_[i];
+    cumulative_[i] = cumulative;
+  }
+  cumulative_[kInteractionCount - 1] = 1.0;  // guard against rounding
+}
+
+const Mix& Mix::standard(WorkloadKind kind) {
+  // Paper Table 1, in Interaction enum order:
+  //   Home, New Products, Best Sellers, Product Detail, Search Request,
+  //   Search Results, Shopping Cart, Customer Registration, Buy Request,
+  //   Buy Confirm, Order Inquiry, Order Display, Admin Request,
+  //   Admin Confirm.
+  static const Mix browsing{{29.00, 11.00, 11.00, 21.00, 12.00, 11.00,
+                             2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10,
+                             0.09}};
+  static const Mix shopping{{16.00, 5.00, 5.00, 17.00, 20.00, 17.00,
+                             11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10,
+                             0.09}};
+  static const Mix ordering{{9.12, 0.46, 0.46, 12.35, 14.53, 13.08,
+                             13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12,
+                             0.11}};
+  switch (kind) {
+    case WorkloadKind::kBrowsing: return browsing;
+    case WorkloadKind::kShopping: return shopping;
+    case WorkloadKind::kOrdering: return ordering;
+  }
+  return browsing;
+}
+
+double Mix::weight(Interaction interaction) const {
+  return weights_[static_cast<int>(interaction)];
+}
+
+double Mix::browse_fraction() const {
+  double total = 0.0;
+  for (int i = 0; i < kInteractionCount; ++i) {
+    if (is_browse(static_cast<Interaction>(i))) total += weights_[i];
+  }
+  return total;
+}
+
+Interaction Mix::sample(common::Rng& rng) const {
+  const double u = rng.uniform();
+  for (int i = 0; i < kInteractionCount; ++i) {
+    if (u < cumulative_[i]) return static_cast<Interaction>(i);
+  }
+  return static_cast<Interaction>(kInteractionCount - 1);
+}
+
+}  // namespace ah::tpcw

@@ -1,0 +1,48 @@
+// TPC-W workload mixes (paper Table 1).
+//
+// A Mix assigns each of the 14 interactions a weight; the three standard
+// mixes (Browsing / Shopping / Ordering) use the exact percentages of the
+// TPC-W specification as reprinted in the paper.  Sampling draws an
+// interaction i.i.d. from the mix, which reproduces the stationary
+// distribution of the spec's Markov transition matrices.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "tpcw/interactions.hpp"
+
+namespace ah::tpcw {
+
+enum class WorkloadKind : int { kBrowsing = 0, kShopping = 1, kOrdering = 2 };
+
+inline constexpr int kWorkloadCount = 3;
+
+[[nodiscard]] std::string_view workload_name(WorkloadKind kind);
+
+class Mix {
+ public:
+  /// Weights need not sum to 1; they are normalized internally.
+  /// Throws std::invalid_argument if all weights are zero or any negative.
+  explicit Mix(const std::array<double, kInteractionCount>& weights);
+
+  /// The three standard mixes.
+  [[nodiscard]] static const Mix& standard(WorkloadKind kind);
+
+  /// Normalized weight of an interaction.
+  [[nodiscard]] double weight(Interaction interaction) const;
+
+  /// Aggregate weight of Browse-class interactions (0.95 / 0.80 / 0.50 for
+  /// the standard mixes).
+  [[nodiscard]] double browse_fraction() const;
+
+  /// Draws an interaction.
+  [[nodiscard]] Interaction sample(common::Rng& rng) const;
+
+ private:
+  std::array<double, kInteractionCount> weights_{};
+  std::array<double, kInteractionCount> cumulative_{};
+};
+
+}  // namespace ah::tpcw

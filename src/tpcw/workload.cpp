@@ -1,0 +1,133 @@
+#include "tpcw/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah::tpcw {
+
+Workload::Workload(sim::Simulator& sim, webstack::FrontendRouter& frontend,
+                   const Mix* mix, WipsMeter& meter, const Config& config)
+    : sim_(sim),
+      frontend_(frontend),
+      mix_(mix),
+      meter_(meter),
+      config_(config),
+      item_popularity_(config.item_count, config.zipf_alpha) {
+  assert(mix_ != nullptr);
+  assert(config_.browsers > 0);
+  common::Rng seeder(config_.seed);
+  browser_rngs_.reserve(static_cast<std::size_t>(config_.browsers));
+  for (int i = 0; i < config_.browsers; ++i) {
+    browser_rngs_.push_back(seeder.split(static_cast<std::uint64_t>(i)));
+  }
+}
+
+void Workload::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < browser_rngs_.size(); ++i) {
+    // Stagger initial arrivals uniformly over one mean think time.
+    const double offset = browser_rngs_[i].uniform() *
+                          config_.think_mean.as_seconds();
+    sim_.schedule(common::SimTime::seconds(offset),
+                  [this, i] { browser_issue(i); });
+  }
+}
+
+void Workload::stop() { running_ = false; }
+
+void Workload::set_mix(const Mix* mix) {
+  assert(mix != nullptr);
+  mix_ = mix;
+}
+
+common::Bytes Workload::object_size(std::uint64_t object_id,
+                                    common::Bytes mean) const {
+  // Deterministic per-object size in [0.5, 2.0) × mean, from a hash of the
+  // page identity.
+  std::uint64_t h = object_id;
+  h = common::splitmix64(h);
+  const double factor = 0.5 + 1.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  return std::max<common::Bytes>(
+      512, static_cast<common::Bytes>(static_cast<double>(mean) * factor));
+}
+
+webstack::Request Workload::make_request(common::Rng& rng) {
+  const Interaction interaction = mix_->sample(rng);
+  const auto& profile = profile_for(interaction);
+
+  webstack::Request request;
+  request.id = next_request_id_++;
+  request.profile = &profile;
+  request.issued_at = sim_.now();
+
+  if (profile.cacheable) {
+    const std::uint64_t space = object_space(interaction, config_.item_count);
+    std::uint64_t sub_id = 0;
+    if (interaction == Interaction::kProductDetail) {
+      sub_id = item_popularity_.sample(rng);
+    } else if (space > 1) {
+      sub_id = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+    }
+    request.object_id = make_object_id(interaction, sub_id);
+    request.response_bytes =
+        object_size(request.object_id, profile.response_bytes);
+  } else {
+    // Dynamic pages vary per request.
+    request.object_id = make_object_id(interaction, request.id);
+    const double factor = 0.6 + 0.8 * rng.uniform();
+    request.response_bytes = std::max<common::Bytes>(
+        512, static_cast<common::Bytes>(
+                 static_cast<double>(profile.response_bytes) * factor));
+  }
+  return request;
+}
+
+void Workload::browser_issue(std::size_t browser_index) {
+  if (!running_) return;
+  common::Rng& rng = browser_rngs_[browser_index];
+  const webstack::Request request = make_request(rng);
+  ++issued_;
+  dispatch(browser_index, request, config_.max_retries);
+}
+
+void Workload::dispatch(std::size_t browser_index,
+                        const webstack::Request& request, int retries_left) {
+  const bool browse =
+      is_browse(static_cast<Interaction>(request.object_id >> 48));
+  const common::SimTime issued_at = request.issued_at;
+  frontend_.route(
+      request, [this, browser_index, request, retries_left, browse,
+                issued_at](const webstack::Response& response) {
+        meter_.record(response.ok, browse, sim_.now(),
+                      sim_.now() - issued_at);
+        if (response.ok && wirt_ != nullptr) {
+          wirt_->record(static_cast<Interaction>(request.object_id >> 48),
+                        sim_.now() - issued_at);
+        }
+        if (!response.ok && retries_left > 0 && running_) {
+          // Re-request the same page after a back-off, like a user
+          // reloading an error page.  The retry keeps the original
+          // issue timestamp so latency reflects the user's real wait.
+          sim_.schedule(config_.retry_backoff,
+                        [this, browser_index, request, retries_left] {
+                          dispatch(browser_index, request, retries_left - 1);
+                        });
+          return;
+        }
+        browser_think(browser_index);
+      });
+}
+
+void Workload::browser_think(std::size_t browser_index) {
+  if (!running_) return;
+  common::Rng& rng = browser_rngs_[browser_index];
+  const double think =
+      std::min(rng.exponential(config_.think_mean.as_seconds()),
+               config_.think_cap.as_seconds());
+  sim_.schedule(common::SimTime::seconds(think),
+                [this, browser_index] { browser_issue(browser_index); });
+}
+
+}  // namespace ah::tpcw

@@ -1,0 +1,33 @@
+#include "tpcw/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ah::tpcw {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::uint64_t ZipfSampler::sample(common::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace ah::tpcw

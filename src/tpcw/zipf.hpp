@@ -1,0 +1,35 @@
+// Zipf-distributed popularity sampling.
+//
+// Web object popularity is heavy-tailed; TPC-W item access concentrates on
+// best sellers.  A precomputed CDF over N ranks gives O(log N) sampling and
+// exact, platform-independent distributions (important for golden tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ah::tpcw {
+
+class ZipfSampler {
+ public:
+  /// P(rank k) ∝ 1 / k^alpha for k in [1, n].  alpha = 0 degenerates to
+  /// uniform.  Throws std::invalid_argument for n == 0 or alpha < 0.
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  /// Draws a rank in [0, n).
+  [[nodiscard]] std::uint64_t sample(common::Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Probability mass of rank k (0-based).
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ah::tpcw

@@ -1,0 +1,113 @@
+#include "webstack/lru_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah::webstack {
+
+LruCache::LruCache(common::Bytes capacity, int swap_low_percent,
+                   int swap_high_percent)
+    : capacity_(capacity),
+      swap_low_(swap_low_percent),
+      swap_high_(swap_high_percent) {
+  assert(capacity_ >= 0);
+  assert(swap_low_ > 0 && swap_low_ <= 100);
+  assert(swap_high_ >= swap_low_ && swap_high_ <= 100);
+}
+
+common::Bytes LruCache::high_bytes() const {
+  return capacity_ * swap_high_ / 100;
+}
+
+common::Bytes LruCache::low_bytes() const {
+  return capacity_ * swap_low_ / 100;
+}
+
+common::Bytes LruCache::lookup(std::uint64_t key, common::SimTime now) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return -1;
+  }
+  if (it->second->expires_at <= now) {
+    ++expirations_;
+    ++misses_;
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return -1;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->size;
+}
+
+bool LruCache::contains(std::uint64_t key) const {
+  return index_.contains(key);
+}
+
+bool LruCache::insert(std::uint64_t key, common::Bytes size,
+                      common::SimTime expires_at) {
+  assert(size >= 0);
+  if (size > high_bytes()) return false;
+  if (auto it = index_.find(key); it != index_.end()) {
+    // Refresh: update size and freshness in place and promote.
+    used_ += size - it->second->size;
+    it->second->size = size;
+    it->second->expires_at = expires_at;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, size, expires_at});
+    index_[key] = lru_.begin();
+    used_ += size;
+  }
+  if (used_ > high_bytes()) evict_to(low_bytes());
+  return true;
+}
+
+bool LruCache::erase(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+void LruCache::set_capacity(common::Bytes capacity) {
+  assert(capacity >= 0);
+  capacity_ = capacity;
+  if (used_ > high_bytes()) evict_to(low_bytes());
+}
+
+void LruCache::set_watermarks(int low_percent, int high_percent) {
+  assert(low_percent > 0 && low_percent <= high_percent &&
+         high_percent <= 100);
+  swap_low_ = low_percent;
+  swap_high_ = high_percent;
+  if (used_ > high_bytes()) evict_to(low_bytes());
+}
+
+double LruCache::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+void LruCache::evict_to(common::Bytes limit) {
+  while (used_ > limit && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace ah::webstack

@@ -1,0 +1,89 @@
+// Byte-budgeted LRU object cache with Squid-style watermark eviction.
+//
+// Used twice by the proxy model: once for the in-memory object cache
+// (capacity = cache_mem) and once for the on-disk cache.  Eviction follows
+// Squid's cache_swap_low/high watermarks: inserts may fill the cache to the
+// high watermark; crossing it triggers eviction down to the low watermark.
+// With the default 90/95 settings this behaves almost exactly like plain
+// LRU — which is why the paper found these two knobs performance-inert, a
+// property our reproduction preserves by construction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace ah::webstack {
+
+class LruCache {
+ public:
+  /// Watermarks are percentages of capacity (0-100], low <= high.
+  LruCache(common::Bytes capacity, int swap_low_percent = 90,
+           int swap_high_percent = 95);
+
+  /// Looks up an object and promotes it to most-recently-used.
+  /// Returns the object size, or -1 on miss.  An entry whose expiry is at
+  /// or before `now` counts as a miss and is evicted (TPC-W pages carry
+  /// finite freshness; serving stale prices is not an option).
+  common::Bytes lookup(std::uint64_t key,
+                       common::SimTime now = common::SimTime::zero());
+
+  /// Peeks without promoting (for tests/metrics).
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// Inserts (or refreshes) an object.  Objects larger than the high
+  /// watermark in bytes are refused (returns false), matching Squid.
+  /// `expires_at` defaults to "never".
+  bool insert(std::uint64_t key, common::Bytes size,
+              common::SimTime expires_at = common::SimTime::max());
+
+  /// Removes an object; returns false when absent.
+  bool erase(std::uint64_t key);
+
+  void clear();
+
+  /// Re-sizes the cache (proxy re-start with a new cache_mem); evicts down
+  /// to the new watermarks immediately.
+  void set_capacity(common::Bytes capacity);
+  void set_watermarks(int low_percent, int high_percent);
+
+  [[nodiscard]] common::Bytes capacity() const { return capacity_; }
+  [[nodiscard]] common::Bytes used() const { return used_; }
+  [[nodiscard]] std::size_t object_count() const { return index_.size(); }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t expirations() const { return expirations_; }
+  [[nodiscard]] double hit_ratio() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    common::Bytes size;
+    common::SimTime expires_at = common::SimTime::max();
+  };
+
+  [[nodiscard]] common::Bytes high_bytes() const;
+  [[nodiscard]] common::Bytes low_bytes() const;
+  /// Evicts LRU entries until used_ <= limit.
+  void evict_to(common::Bytes limit);
+
+  common::Bytes capacity_;
+  int swap_low_;
+  int swap_high_;
+  common::Bytes used_ = 0;
+
+  // MRU at front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace ah::webstack

@@ -1,0 +1,157 @@
+#include "webstack/params.hpp"
+
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+
+namespace ah::webstack {
+
+namespace {
+using cluster::TierKind;
+
+std::vector<ParamSpec> build_catalogue() {
+  // Table 3 of the paper: name, tier, default, [min, max].
+  // Units follow the original configuration files: cache_mem in MB, the
+  // object-size limits in KB, buffer/stack sizes in bytes.
+  return {
+      // -- Proxy server (Squid) ---------------------------------------------
+      {"cache_mem", TierKind::kProxy, 8, 2, 512},
+      {"cache_swap_low", TierKind::kProxy, 90, 50, 95},
+      {"cache_swap_high", TierKind::kProxy, 95, 55, 99},
+      {"maximum_object_size", TierKind::kProxy, 4096, 64, 65536},
+      {"minimum_object_size", TierKind::kProxy, 0, 0, 1024},
+      {"maximum_object_size_in_memory", TierKind::kProxy, 8, 1, 4096},
+      {"store_objects_per_bucket", TierKind::kProxy, 20, 5, 200},
+      // -- Web/application server (Tomcat) ----------------------------------
+      {"minProcessors", TierKind::kApp, 5, 1, 512},
+      {"maxProcessors", TierKind::kApp, 20, 1, 1024},
+      {"acceptCount", TierKind::kApp, 10, 1, 1024},
+      {"bufferSize", TierKind::kApp, 2048, 512, 65536},
+      {"AJPminProcessors", TierKind::kApp, 5, 1, 512},
+      {"AJPmaxProcessors", TierKind::kApp, 20, 1, 1024},
+      {"AJPacceptCount", TierKind::kApp, 10, 1, 1024},
+      // -- Database server (MySQL) ------------------------------------------
+      {"binlog_cache_size", TierKind::kDb, 32768, 4096, 4194304},
+      {"delayed_insert_limit", TierKind::kDb, 100, 10, 10000},
+      {"max_connections", TierKind::kDb, 100, 10, 2000},
+      {"delayed_queue_size", TierKind::kDb, 1000, 100, 100000},
+      {"join_buffer_size", TierKind::kDb, 8388600, 131072, 16777216},
+      {"net_buffer_length", TierKind::kDb, 16384, 1024, 1048576},
+      {"table_cache", TierKind::kDb, 64, 16, 2048},
+      {"thread_con", TierKind::kDb, 10, 1, 512},
+      {"thread_stack", TierKind::kDb, 65535, 16384, 8388608},
+  };
+}
+
+void check_size(std::span<const std::int64_t> all) {
+  const std::size_t expected = parameter_catalogue().size();
+  if (all.size() != expected) {
+    throw std::invalid_argument(common::format(
+        "parameter vector has {} values, catalogue has {}", all.size(),
+        expected));
+  }
+}
+
+}  // namespace
+
+const std::vector<ParamSpec>& parameter_catalogue() {
+  static const std::vector<ParamSpec> catalogue = build_catalogue();
+  return catalogue;
+}
+
+std::vector<std::size_t> catalogue_indices_for(cluster::TierKind tier) {
+  std::vector<std::size_t> indices;
+  const auto& catalogue = parameter_catalogue();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (catalogue[i].tier == tier) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<std::int64_t> default_values() {
+  std::vector<std::int64_t> values;
+  for (const auto& spec : parameter_catalogue()) {
+    values.push_back(spec.default_value);
+  }
+  return values;
+}
+
+std::size_t catalogue_index(const std::string& name) {
+  const auto& catalogue = parameter_catalogue();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (catalogue[i].name == name) return i;
+  }
+  throw std::out_of_range("unknown parameter: " + name);
+}
+
+ProxyParams proxy_from_values(std::span<const std::int64_t> all) {
+  check_size(all);
+  ProxyParams p;
+  p.cache_mem = all[0] * 1024 * 1024;  // MB -> bytes
+  p.cache_swap_low = static_cast<int>(all[1]);
+  p.cache_swap_high = static_cast<int>(all[2]);
+  p.maximum_object_size = all[3] * 1024;            // KB -> bytes
+  p.minimum_object_size = all[4] * 1024;            // KB -> bytes
+  p.maximum_object_size_in_memory = all[5] * 1024;  // KB -> bytes
+  p.store_objects_per_bucket = static_cast<int>(all[6]);
+  return p;
+}
+
+AppParams app_from_values(std::span<const std::int64_t> all) {
+  check_size(all);
+  AppParams p;
+  p.min_processors = static_cast<int>(all[7]);
+  p.max_processors = static_cast<int>(all[8]);
+  p.accept_count = static_cast<int>(all[9]);
+  p.buffer_size = all[10];
+  p.ajp_min_processors = static_cast<int>(all[11]);
+  p.ajp_max_processors = static_cast<int>(all[12]);
+  p.ajp_accept_count = static_cast<int>(all[13]);
+  return p;
+}
+
+DbParams db_from_values(std::span<const std::int64_t> all) {
+  check_size(all);
+  DbParams p;
+  p.binlog_cache_size = all[14];
+  p.delayed_insert_limit = static_cast<int>(all[15]);
+  p.max_connections = static_cast<int>(all[16]);
+  p.delayed_queue_size = static_cast<int>(all[17]);
+  p.join_buffer_size = all[18];
+  p.net_buffer_length = all[19];
+  p.table_cache = static_cast<int>(all[20]);
+  p.thread_concurrency = static_cast<int>(all[21]);
+  p.thread_stack = all[22];
+  return p;
+}
+
+std::vector<std::int64_t> to_values(const ProxyParams& proxy,
+                                    const AppParams& app, const DbParams& db) {
+  return {
+      proxy.cache_mem / (1024 * 1024),
+      proxy.cache_swap_low,
+      proxy.cache_swap_high,
+      proxy.maximum_object_size / 1024,
+      proxy.minimum_object_size / 1024,
+      proxy.maximum_object_size_in_memory / 1024,
+      proxy.store_objects_per_bucket,
+      app.min_processors,
+      app.max_processors,
+      app.accept_count,
+      app.buffer_size,
+      app.ajp_min_processors,
+      app.ajp_max_processors,
+      app.ajp_accept_count,
+      db.binlog_cache_size,
+      db.delayed_insert_limit,
+      db.max_connections,
+      db.delayed_queue_size,
+      db.join_buffer_size,
+      db.net_buffer_length,
+      db.table_cache,
+      db.thread_concurrency,
+      db.thread_stack,
+  };
+}
+
+}  // namespace ah::webstack

@@ -1,0 +1,89 @@
+// Canonical catalogue of the 23 tunable parameters (paper Table 3).
+//
+// Defaults match the paper's "default configuration" column; bounds are the
+// limits Harmony may explore (wide enough to contain every tuned value the
+// paper reports).  The typed Proxy/App/Db param structs are what the server
+// implementations consume; `*_from_values` decodes a flat integer vector in
+// catalogue order, which is the representation the tuner works with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/tier.hpp"
+#include "common/units.hpp"
+
+namespace ah::webstack {
+
+struct ParamSpec {
+  std::string name;
+  cluster::TierKind tier;
+  std::int64_t default_value;
+  std::int64_t min_value;
+  std::int64_t max_value;
+};
+
+/// The full 23-parameter catalogue in Table-3 order
+/// (7 proxy, 7 web/app, 9 database).
+[[nodiscard]] const std::vector<ParamSpec>& parameter_catalogue();
+
+/// Catalogue slices per tier (indices into parameter_catalogue()).
+[[nodiscard]] std::vector<std::size_t> catalogue_indices_for(
+    cluster::TierKind tier);
+
+/// Default values in catalogue order.
+[[nodiscard]] std::vector<std::int64_t> default_values();
+
+/// Index of a parameter by name; throws std::out_of_range when unknown.
+[[nodiscard]] std::size_t catalogue_index(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Typed views, consumed by the server models.
+// ---------------------------------------------------------------------------
+
+struct ProxyParams {
+  common::Bytes cache_mem = 8LL * 1024 * 1024;  // cache_mem (MB in catalogue)
+  int cache_swap_low = 90;                      // percent
+  int cache_swap_high = 95;                     // percent
+  common::Bytes maximum_object_size = 4096LL * 1024;        // KB in catalogue
+  common::Bytes minimum_object_size = 0;                    // KB in catalogue
+  common::Bytes maximum_object_size_in_memory = 8LL * 1024; // KB in catalogue
+  int store_objects_per_bucket = 20;
+};
+
+struct AppParams {
+  int min_processors = 5;
+  int max_processors = 20;
+  int accept_count = 10;
+  common::Bytes buffer_size = 2048;
+  int ajp_min_processors = 5;
+  int ajp_max_processors = 20;
+  int ajp_accept_count = 10;
+};
+
+struct DbParams {
+  common::Bytes binlog_cache_size = 32768;
+  int delayed_insert_limit = 100;
+  int max_connections = 100;
+  int delayed_queue_size = 1000;
+  common::Bytes join_buffer_size = 8388600;
+  common::Bytes net_buffer_length = 16384;
+  int table_cache = 64;
+  int thread_concurrency = 10;  // thread_con
+  common::Bytes thread_stack = 65535;
+};
+
+/// Decodes a full 23-value vector (catalogue order) into the typed structs.
+/// Throws std::invalid_argument on size mismatch.
+[[nodiscard]] ProxyParams proxy_from_values(std::span<const std::int64_t> all);
+[[nodiscard]] AppParams app_from_values(std::span<const std::int64_t> all);
+[[nodiscard]] DbParams db_from_values(std::span<const std::int64_t> all);
+
+/// Encodes typed structs back into a full 23-value vector (catalogue order).
+[[nodiscard]] std::vector<std::int64_t> to_values(const ProxyParams& proxy,
+                                                  const AppParams& app,
+                                                  const DbParams& db);
+
+}  // namespace ah::webstack

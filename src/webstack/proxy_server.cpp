@@ -1,0 +1,200 @@
+#include "webstack/proxy_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah::webstack {
+
+namespace {
+/// Fixed size of the proxy's on-disk cache (the testbed dedicated a disk
+/// partition to Squid; its size was not a tunable in the paper).
+constexpr common::Bytes kDiskCacheBytes = 2LL * 1024 * 1024 * 1024;
+/// CPU charged once per restart (config parse, index rebuild).
+constexpr auto kRestartCpu = common::SimTime::millis(150);
+/// Freshness lifetime of cached TPC-W pages (prices and stock change, so
+/// the site serves them with a finite max-age).  Short enough that a
+/// configuration which stops admitting objects pays for it within one
+/// measured iteration — evaluations stay attributable to the
+/// configuration under test.
+constexpr auto kObjectTtl = common::SimTime::seconds(180.0);
+}  // namespace
+
+ProxyServer::ProxyServer(sim::Simulator& sim, cluster::Node& node,
+                         ForwardFn forward, const ProxyParams& params)
+    : sim_(sim),
+      node_(node),
+      forward_(std::move(forward)),
+      params_(params),
+      mem_cache_(params.cache_mem, params.cache_swap_low,
+                 params.cache_swap_high),
+      disk_cache_(kDiskCacheBytes, params.cache_swap_low,
+                  params.cache_swap_high) {
+  charged_memory_ = resident_memory(params_);
+  node_.alloc_memory(charged_memory_);
+}
+
+ProxyServer::~ProxyServer() {
+  if (charged_memory_ > 0) node_.free_memory(charged_memory_);
+}
+
+common::Bytes ProxyServer::resident_memory(const ProxyParams& params) const {
+  // Squid reserves cache_mem up front, plus the store index: one hash table
+  // over the expected object population.  Fewer objects per bucket means
+  // more buckets.
+  constexpr std::int64_t kExpectedObjects = 64 * 1024;
+  constexpr common::Bytes kBucketOverhead = 96;
+  const std::int64_t buckets =
+      kExpectedObjects / std::max(1, params.store_objects_per_bucket);
+  constexpr common::Bytes kBaseProcess = 24LL * 1024 * 1024;
+  return kBaseProcess + params.cache_mem + buckets * kBucketOverhead;
+}
+
+void ProxyServer::reconfigure(const ProxyParams& params) {
+  // Restart: drop the memory cache (volatile), keep the disk cache, charge
+  // the restart burst, swap the memory accounting to the new footprint.
+  node_.free_memory(charged_memory_);
+  params_ = params;
+  charged_memory_ = resident_memory(params_);
+  node_.alloc_memory(charged_memory_);
+
+  mem_cache_.clear();
+  mem_cache_.set_capacity(params_.cache_mem);
+  mem_cache_.set_watermarks(params_.cache_swap_low, params_.cache_swap_high);
+  disk_cache_.set_watermarks(params_.cache_swap_low, params_.cache_swap_high);
+
+  node_.cpu().submit(kRestartCpu, {});
+}
+
+void ProxyServer::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  if (!active_) {
+    mem_cache_.clear();
+    node_.free_memory(charged_memory_);
+    charged_memory_ = 0;
+  } else {
+    charged_memory_ = resident_memory(params_);
+    node_.alloc_memory(charged_memory_);
+    node_.cpu().submit(kRestartCpu, {});
+  }
+}
+
+common::SimTime ProxyServer::lookup_cpu(const Request& request) const {
+  // Parsing/forwarding base plus hash-chain scan: expected half-chain walk.
+  const auto chain = static_cast<double>(params_.store_objects_per_bucket);
+  const auto scan = common::SimTime::micros(
+      static_cast<std::int64_t>(0.4 * chain / 2.0));
+  return request.profile->proxy_cpu + scan;
+}
+
+void ProxyServer::handle(const Request& request, ResponseFn done) {
+  assert(request.profile != nullptr);
+  if (!active_) {
+    ++stats_.errors;
+    done(Response{false, Response::Origin::kError, 0});
+    return;
+  }
+  ++inflight_;
+  ResponseFn counted = [this, done = std::move(done)](const Response& r) {
+    --inflight_;
+    ++stats_.served;
+    done(r);
+  };
+
+  node_.cpu().submit(
+      lookup_cpu(request),
+      [this, request, counted = std::move(counted)]() mutable {
+        if (!request.profile->cacheable) {
+          ++stats_.passthrough;
+          forward_upstream(request, std::move(counted));
+          return;
+        }
+        if (const auto size = mem_cache_.lookup(request.object_id, sim_.now());
+            size >= 0) {
+          ++stats_.mem_hits;
+          serve_from_memory(request, std::move(counted));
+          return;
+        }
+        if (const auto size =
+                disk_cache_.lookup(request.object_id, sim_.now());
+            size >= 0) {
+          ++stats_.disk_hits;
+          // Hot-object promotion: objects served from disk move into the
+          // memory cache (when admitted), so the memory cache converges on
+          // the hot set within a warm-up period even after a restart.
+          if (size <= params_.maximum_object_size_in_memory) {
+            mem_cache_.insert(request.object_id, size, sim_.now() + kObjectTtl);
+          }
+          serve_from_disk(request, size, std::move(counted));
+          return;
+        }
+        ++stats_.misses_forwarded;
+        forward_upstream(request, std::move(counted));
+      });
+}
+
+void ProxyServer::serve_from_memory(const Request& request, ResponseFn done) {
+  // Copy-out and socket-push cost; the response leaves via the router's
+  // NIC hop.  A memory hit is the cheapest path through the proxy.
+  const auto copy_cpu = common::SimTime::micros(
+      500 + request.response_bytes / 64);
+  const Response response{true, Response::Origin::kProxyMemory,
+                          request.response_bytes};
+  node_.cpu().submit(copy_cpu, [this, response, done = std::move(done)] {
+    finish(response, std::move(done));
+  });
+}
+
+void ProxyServer::serve_from_disk(const Request& /*request*/,
+                                  common::Bytes size, ResponseFn done) {
+  const Response response{true, Response::Origin::kProxyDisk, size};
+  node_.disk().submit(
+      node_.disk_time(size), [this, response, done = std::move(done)] {
+        // Swap-in bookkeeping plus pushing the object through the socket.
+        node_.cpu().submit(common::SimTime::micros(1500 + response.bytes / 48),
+                           [this, response, done = std::move(done)] {
+                             finish(response, std::move(done));
+                           });
+      });
+}
+
+void ProxyServer::forward_upstream(const Request& request, ResponseFn done) {
+  forward_(request, node_,
+           [this, request, done = std::move(done)](const Response& upstream) {
+             if (upstream.ok) maybe_cache(request, upstream);
+             // Relay cost: the proxy shuttles the upstream response through
+             // its own socket pair (read from app tier, write to client).
+             // Error responses (connection refused upstream) carry no body
+             // and cost almost nothing to relay.
+             const auto relay_cpu =
+                 upstream.ok ? common::SimTime::micros(3500 +
+                                                       upstream.bytes / 24)
+                             : common::SimTime::micros(200);
+             node_.cpu().submit(relay_cpu,
+                                [this, upstream, done = std::move(done)] {
+                                  finish(upstream, std::move(done));
+                                });
+           });
+}
+
+void ProxyServer::maybe_cache(const Request& request,
+                              const Response& response) {
+  if (!request.profile->cacheable) return;
+  const common::Bytes size = response.bytes;
+  if (size < params_.minimum_object_size) return;
+  if (size <= params_.maximum_object_size_in_memory) {
+    mem_cache_.insert(request.object_id, size, sim_.now() + kObjectTtl);
+  }
+  if (size <= params_.maximum_object_size) {
+    // Disk store write happens off the request path (async swap-out);
+    // charge the disk but do not delay the response.
+    disk_cache_.insert(request.object_id, size, sim_.now() + kObjectTtl);
+    node_.disk().submit(node_.disk_time(size), {});
+  }
+}
+
+void ProxyServer::finish(const Response& response, ResponseFn done) {
+  done(response);
+}
+
+}  // namespace ah::webstack

@@ -1,0 +1,100 @@
+// Squid-like caching proxy (tier 1 / presentation).
+//
+// Serves cacheable pages from an in-memory LRU cache (capacity = cache_mem)
+// or an on-disk cache; everything else is forwarded to the application
+// tier.  The tunables and their modelled effects:
+//
+//   cache_mem                      capacity of the memory cache; larger →
+//                                  more memory hits but more node memory
+//   cache_swap_low/high            LRU watermarks (near-inert, as the paper
+//                                  found on the real Squid)
+//   maximum/minimum_object_size    disk-cache admission limits
+//   maximum_object_size_in_memory  memory-cache admission limit
+//   store_objects_per_bucket       hash-chain length: fewer buckets saves
+//                                  index memory, longer chains cost lookup
+//                                  CPU
+//
+// Squid reads these at startup, so applying a new configuration restarts
+// the process: the memory cache is lost (the disk cache survives, as on a
+// real restart) and a restart CPU burst is charged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/node.hpp"
+#include "sim/simulator.hpp"
+#include "webstack/lru_cache.hpp"
+#include "webstack/params.hpp"
+#include "webstack/request.hpp"
+
+namespace ah::webstack {
+
+/// Forwarding hook: sends a request towards the application tier from the
+/// given node; `done` receives the upstream response.  Wired to an
+/// AppTierRouter by the system model (a std::function keeps the proxy
+/// testable without a full cluster).
+using ForwardFn =
+    std::function<void(const Request&, cluster::Node& from, ResponseFn done)>;
+
+class ProxyServer : public Service {
+ public:
+  struct Stats {
+    std::uint64_t served = 0;
+    std::uint64_t mem_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t misses_forwarded = 0;     // cacheable but absent
+    std::uint64_t passthrough = 0;          // non-cacheable
+    std::uint64_t errors = 0;
+  };
+
+  ProxyServer(sim::Simulator& sim, cluster::Node& node, ForwardFn forward,
+              const ProxyParams& params);
+  ~ProxyServer() override;
+
+  /// Applies a new configuration: restart semantics (see file comment).
+  void reconfigure(const ProxyParams& params);
+
+  /// Process stop/start for tier reconfiguration: an inactive proxy rejects
+  /// requests and releases its memory.
+  void set_active(bool active);
+  [[nodiscard]] bool active() const { return active_; }
+
+  void handle(const Request& request, ResponseFn done) override;
+
+  [[nodiscard]] cluster::Node& node() { return node_; }
+  [[nodiscard]] const ProxyParams& params() const { return params_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const LruCache& memory_cache() const { return mem_cache_; }
+  [[nodiscard]] const LruCache& disk_cache() const { return disk_cache_; }
+  /// In-flight requests (for least-loaded balancing).
+  [[nodiscard]] int load() const { return inflight_; }
+
+ private:
+  /// CPU demand of the request-parsing + store-index lookup step.
+  [[nodiscard]] common::SimTime lookup_cpu(const Request& request) const;
+  /// Memory charged for the cache and store index under `params`.
+  [[nodiscard]] common::Bytes resident_memory(const ProxyParams& params) const;
+
+  void serve_from_memory(const Request& request, ResponseFn done);
+  void serve_from_disk(const Request& request, common::Bytes size,
+                       ResponseFn done);
+  void forward_upstream(const Request& request, ResponseFn done);
+  void maybe_cache(const Request& request, const Response& response);
+  void finish(const Response& response, ResponseFn done);
+
+  sim::Simulator& sim_;
+  cluster::Node& node_;
+  ForwardFn forward_;
+  ProxyParams params_;
+
+  LruCache mem_cache_;
+  LruCache disk_cache_;
+
+  bool active_ = true;
+  int inflight_ = 0;
+  common::Bytes charged_memory_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ah::webstack

@@ -1,0 +1,113 @@
+// Request/response model shared by the three server tiers.
+//
+// The web stack is workload-agnostic: a request carries a *profile* of
+// resource demands (CPU per tier, database query mix, response size) and the
+// TPC-W layer maps its 14 interaction types onto such profiles.  Keeping the
+// stack independent of TPC-W lets tests drive the servers with synthetic
+// profiles directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ah::webstack {
+
+/// Database query classes, mirroring what the TPC-W servlets issue.
+enum class QueryClass : int {
+  kSelectSimple = 0,  // keyed single-table lookup
+  kSelectJoin = 1,    // multi-table join (best sellers, search)
+  kUpdate = 2,        // transactional write (buy confirm, cart update)
+  kInsert = 3,        // row insert (order line, registration)
+};
+
+inline constexpr int kQueryClassCount = 4;
+
+/// Static description of one request type's demands.
+struct RequestProfile {
+  std::string name;
+
+  /// Whether the proxy may cache the response (static/semi-static pages).
+  bool cacheable = false;
+
+  /// Mean response size; actual sizes are randomized around this.
+  common::Bytes response_bytes = 8 * 1024;
+
+  /// CPU demand at the proxy tier for parsing/forwarding, per request.
+  common::SimTime proxy_cpu = common::SimTime::micros(300);
+
+  /// CPU demand of servlet execution at the application tier.
+  common::SimTime app_cpu = common::SimTime::millis(3);
+
+  /// Number of database queries of each class issued by the servlet.
+  int queries[kQueryClassCount] = {0, 0, 0, 0};
+
+  [[nodiscard]] int total_queries() const {
+    int total = 0;
+    for (int q : queries) total += q;
+    return total;
+  }
+  [[nodiscard]] bool needs_db() const { return total_queries() > 0; }
+  [[nodiscard]] bool has_writes() const {
+    return queries[static_cast<int>(QueryClass::kUpdate)] > 0 ||
+           queries[static_cast<int>(QueryClass::kInsert)] > 0;
+  }
+};
+
+/// One in-flight request.
+struct Request {
+  std::uint64_t id = 0;
+  const RequestProfile* profile = nullptr;
+  /// Identity of the page/object requested; cache keys are derived from it.
+  /// Drawn from a Zipf-like popularity distribution by the workload.
+  std::uint64_t object_id = 0;
+  /// Realized response size for this request.
+  common::Bytes response_bytes = 0;
+  /// Time the emulated browser issued the request.
+  common::SimTime issued_at = common::SimTime::zero();
+};
+
+struct Response {
+  bool ok = true;
+  /// Where the response was produced (for cache statistics).
+  enum class Origin { kProxyMemory, kProxyDisk, kApp, kDb, kError };
+  Origin origin = Origin::kApp;
+  common::Bytes bytes = 0;
+};
+
+using ResponseFn = std::function<void(const Response&)>;
+
+/// Anything that can serve a Request asynchronously.
+class Service {
+ public:
+  virtual ~Service() = default;
+  /// Serves `request`; `done` fires exactly once, when the response is
+  /// ready (or the request was rejected — indicated by !ok).
+  virtual void handle(const Request& request, ResponseFn done) = 0;
+};
+
+/// One database query as issued by an application server.
+struct DbQuery {
+  QueryClass cls = QueryClass::kSelectSimple;
+  /// Table/index identity for table-cache behaviour.
+  std::uint64_t table_id = 0;
+  /// Result payload size.
+  common::Bytes result_bytes = 2 * 1024;
+};
+
+struct DbResult {
+  bool ok = true;
+};
+
+using DbResultFn = std::function<void(const DbResult&)>;
+
+/// Anything that can execute a DbQuery asynchronously.
+class DbService {
+ public:
+  virtual ~DbService() = default;
+  virtual void execute(const DbQuery& query, DbResultFn done) = 0;
+};
+
+}  // namespace ah::webstack

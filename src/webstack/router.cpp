@@ -1,0 +1,145 @@
+#include "webstack/router.hpp"
+
+#include <algorithm>
+
+namespace ah::webstack {
+
+namespace {
+template <typename T>
+bool erase_ptr(std::vector<T*>& vec, T* ptr) {
+  const auto it = std::find(vec.begin(), vec.end(), ptr);
+  if (it == vec.end()) return false;
+  vec.erase(it);
+  return true;
+}
+}  // namespace
+
+// -- AppTierRouter -----------------------------------------------------------
+
+AppTierRouter::AppTierRouter(cluster::Network& network,
+                             cluster::BalancePolicy policy, std::uint64_t seed)
+    : network_(network), balancer_(policy, seed) {}
+
+void AppTierRouter::add_backend(AppServer* server) {
+  backends_.push_back(server);
+  balancer_.reset();
+}
+
+bool AppTierRouter::remove_backend(AppServer* server) {
+  const bool removed = erase_ptr(backends_, server);
+  if (removed) balancer_.reset();
+  return removed;
+}
+
+void AppTierRouter::route(const Request& request, cluster::Node& from,
+                          ResponseFn done) {
+  if (backends_.empty()) {
+    done(Response{false, Response::Origin::kError, 0});
+    return;
+  }
+  const std::size_t pick = balancer_.pick(
+      backends_.size(),
+      [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
+  AppServer* backend = backends_[pick];
+  cluster::Node* from_ptr = &from;
+  network_.send(
+      from, backend->node(), kForwardRequestBytes,
+      [this, backend, request, from_ptr, done = std::move(done)]() mutable {
+        backend->handle(
+            request, [this, backend, from_ptr,
+                      done = std::move(done)](const Response& response) {
+              network_.send(backend->node(), *from_ptr,
+                            std::max<common::Bytes>(128, response.bytes),
+                            [response, done = std::move(done)] { done(response); });
+            });
+      });
+}
+
+// -- DbTierRouter ------------------------------------------------------------
+
+DbTierRouter::DbTierRouter(cluster::Network& network,
+                           cluster::BalancePolicy policy, std::uint64_t seed)
+    : network_(network), balancer_(policy, seed) {}
+
+void DbTierRouter::add_backend(DbServer* server) {
+  backends_.push_back(server);
+  balancer_.reset();
+}
+
+bool DbTierRouter::remove_backend(DbServer* server) {
+  const bool removed = erase_ptr(backends_, server);
+  if (removed) balancer_.reset();
+  return removed;
+}
+
+void DbTierRouter::route(const DbQuery& query, cluster::Node& from,
+                         DbResultFn done) {
+  if (backends_.empty()) {
+    done(DbResult{false});
+    return;
+  }
+  const std::size_t pick = balancer_.pick(
+      backends_.size(),
+      [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
+  DbServer* backend = backends_[pick];
+  cluster::Node* from_ptr = &from;
+  network_.send(
+      from, backend->node(), kQueryRequestBytes,
+      [this, backend, query, from_ptr, done = std::move(done)]() mutable {
+        backend->execute(
+            query, [this, backend, query, from_ptr,
+                    done = std::move(done)](const DbResult& result) {
+              network_.send(backend->node(), *from_ptr, query.result_bytes,
+                            [result, done = std::move(done)] { done(result); });
+            });
+      });
+}
+
+// -- FrontendRouter ----------------------------------------------------------
+
+FrontendRouter::FrontendRouter(sim::Simulator& sim,
+                               cluster::BalancePolicy policy,
+                               common::SimTime client_latency,
+                               std::uint64_t seed)
+    : sim_(sim), balancer_(policy, seed), client_latency_(client_latency) {}
+
+void FrontendRouter::add_backend(ProxyServer* server) {
+  backends_.push_back(server);
+  balancer_.reset();
+}
+
+bool FrontendRouter::remove_backend(ProxyServer* server) {
+  const bool removed = erase_ptr(backends_, server);
+  if (removed) balancer_.reset();
+  return removed;
+}
+
+void FrontendRouter::route(const Request& request, ResponseFn done) {
+  if (backends_.empty()) {
+    done(Response{false, Response::Origin::kError, 0});
+    return;
+  }
+  const std::size_t pick = balancer_.pick(
+      backends_.size(),
+      [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
+  ProxyServer* backend = backends_[pick];
+  sim_.schedule(client_latency_, [this, backend, request,
+                                  done = std::move(done)]() mutable {
+    backend->handle(
+        request,
+        [this, backend, done = std::move(done)](const Response& response) {
+          // Response serialization on the proxy's NIC, then client latency.
+          cluster::Node& node = backend->node();
+          node.nic().submit(
+              node.nic_time(std::max<common::Bytes>(128, response.bytes)),
+              [this, response, done = std::move(done)]() mutable {
+                sim_.schedule(client_latency_,
+                              [response, done = std::move(done)] {
+                                done(response);
+                              });
+              });
+        });
+  });
+}
+
+}  // namespace ah::webstack

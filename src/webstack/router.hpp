@@ -1,0 +1,99 @@
+// Tier routers: pick a backend and model the network round trip.
+//
+// A router owns the *wiring* between tiers: backend selection (load
+// balancing), the forward hop charged to the sender's NIC, and the response
+// hop charged to the replier's NIC.  Server objects never talk to each
+// other directly, which is what lets the reconfiguration logic retarget a
+// node by just removing/adding it here while in-flight requests drain
+// naturally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/load_balancer.hpp"
+#include "cluster/network.hpp"
+#include "cluster/node.hpp"
+#include "webstack/app_server.hpp"
+#include "webstack/db_server.hpp"
+#include "webstack/proxy_server.hpp"
+#include "webstack/request.hpp"
+
+namespace ah::webstack {
+
+/// Size of a forwarded HTTP request message.
+inline constexpr common::Bytes kForwardRequestBytes = 512;
+/// Size of a database query message.
+inline constexpr common::Bytes kQueryRequestBytes = 384;
+
+/// Routes requests from the proxy tier to the application tier.
+class AppTierRouter {
+ public:
+  AppTierRouter(cluster::Network& network, cluster::BalancePolicy policy,
+                std::uint64_t seed = 7);
+
+  void add_backend(AppServer* server);
+  bool remove_backend(AppServer* server);
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] const std::vector<AppServer*>& backends() const {
+    return backends_;
+  }
+
+  /// Sends `request` from node `from` to a selected backend; `done` fires
+  /// with the backend's response after the return hop.  With no backends
+  /// the request fails immediately.
+  void route(const Request& request, cluster::Node& from, ResponseFn done);
+
+ private:
+  cluster::Network& network_;
+  cluster::LoadBalancer balancer_;
+  std::vector<AppServer*> backends_;
+};
+
+/// Routes database queries from the application tier to the database tier.
+class DbTierRouter {
+ public:
+  DbTierRouter(cluster::Network& network, cluster::BalancePolicy policy,
+               std::uint64_t seed = 11);
+
+  void add_backend(DbServer* server);
+  bool remove_backend(DbServer* server);
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] const std::vector<DbServer*>& backends() const {
+    return backends_;
+  }
+
+  void route(const DbQuery& query, cluster::Node& from, DbResultFn done);
+
+ private:
+  cluster::Network& network_;
+  cluster::LoadBalancer balancer_;
+  std::vector<DbServer*> backends_;
+};
+
+/// Entry point: routes emulated-browser requests to the proxy tier.
+/// The client machine is not a simulated node, so the inbound hop is a
+/// fixed latency; the response hop charges the proxy's NIC.
+class FrontendRouter {
+ public:
+  FrontendRouter(sim::Simulator& sim, cluster::BalancePolicy policy,
+                 common::SimTime client_latency = common::SimTime::micros(300),
+                 std::uint64_t seed = 13);
+
+  void add_backend(ProxyServer* server);
+  bool remove_backend(ProxyServer* server);
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] const std::vector<ProxyServer*>& backends() const {
+    return backends_;
+  }
+
+  void route(const Request& request, ResponseFn done);
+
+ private:
+  sim::Simulator& sim_;
+  cluster::LoadBalancer balancer_;
+  common::SimTime client_latency_;
+  std::vector<ProxyServer*> backends_;
+};
+
+}  // namespace ah::webstack

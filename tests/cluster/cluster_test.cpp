@@ -1,0 +1,93 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  Cluster cluster_{sim_};
+  NodeHardware hw_{};
+};
+
+TEST_F(ClusterTest, AddNodeAssignsSequentialIds) {
+  EXPECT_EQ(cluster_.add_node(hw_, TierKind::kProxy), 0u);
+  EXPECT_EQ(cluster_.add_node(hw_, TierKind::kApp), 1u);
+  EXPECT_EQ(cluster_.node_count(), 2u);
+}
+
+TEST_F(ClusterTest, TierMembershipRecorded) {
+  const auto p = cluster_.add_node(hw_, TierKind::kProxy);
+  const auto a = cluster_.add_node(hw_, TierKind::kApp);
+  const auto d = cluster_.add_node(hw_, TierKind::kDb);
+  EXPECT_EQ(cluster_.tier_of(p), TierKind::kProxy);
+  EXPECT_EQ(cluster_.tier_of(a), TierKind::kApp);
+  EXPECT_EQ(cluster_.tier_of(d), TierKind::kDb);
+  EXPECT_TRUE(cluster_.tier(TierKind::kProxy).contains(p));
+}
+
+TEST_F(ClusterTest, NodesInTierOrdered) {
+  const auto a = cluster_.add_node(hw_, TierKind::kApp);
+  const auto b = cluster_.add_node(hw_, TierKind::kApp);
+  auto nodes = cluster_.nodes_in(TierKind::kApp);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->id(), a);
+  EXPECT_EQ(nodes[1]->id(), b);
+}
+
+TEST_F(ClusterTest, MoveNodeUpdatesMembership) {
+  const auto p1 = cluster_.add_node(hw_, TierKind::kProxy);
+  cluster_.add_node(hw_, TierKind::kProxy);
+  cluster_.add_node(hw_, TierKind::kApp);
+  cluster_.move_node(p1, TierKind::kApp);
+  EXPECT_EQ(cluster_.tier_of(p1), TierKind::kApp);
+  EXPECT_EQ(cluster_.tier(TierKind::kProxy).size(), 1u);
+  EXPECT_EQ(cluster_.tier(TierKind::kApp).size(), 2u);
+}
+
+TEST_F(ClusterTest, MoveLastNodeThrows) {
+  const auto p = cluster_.add_node(hw_, TierKind::kProxy);
+  cluster_.add_node(hw_, TierKind::kApp);
+  EXPECT_THROW(cluster_.move_node(p, TierKind::kApp), std::logic_error);
+}
+
+TEST_F(ClusterTest, MoveToSameTierIsNoop) {
+  const auto p = cluster_.add_node(hw_, TierKind::kProxy);
+  bool observed = false;
+  cluster_.set_move_observer(
+      [&](NodeId, TierKind, TierKind) { observed = true; });
+  cluster_.move_node(p, TierKind::kProxy);
+  EXPECT_FALSE(observed);
+}
+
+TEST_F(ClusterTest, MoveObserverFires) {
+  const auto p1 = cluster_.add_node(hw_, TierKind::kProxy);
+  cluster_.add_node(hw_, TierKind::kProxy);
+  NodeId moved = 999;
+  TierKind from{};
+  TierKind to{};
+  cluster_.set_move_observer([&](NodeId id, TierKind f, TierKind t) {
+    moved = id;
+    from = f;
+    to = t;
+  });
+  cluster_.move_node(p1, TierKind::kDb);
+  EXPECT_EQ(moved, p1);
+  EXPECT_EQ(from, TierKind::kProxy);
+  EXPECT_EQ(to, TierKind::kDb);
+}
+
+TEST_F(ClusterTest, NodeAccessOutOfRangeThrows) {
+  EXPECT_THROW(cluster_.node(0), std::out_of_range);
+}
+
+TEST_F(ClusterTest, NodesGetDistinctNames) {
+  const auto a = cluster_.add_node(hw_, TierKind::kProxy);
+  const auto b = cluster_.add_node(hw_, TierKind::kProxy);
+  EXPECT_NE(cluster_.node(a).name(), cluster_.node(b).name());
+}
+
+}  // namespace
+}  // namespace ah::cluster

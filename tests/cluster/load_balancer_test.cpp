@@ -1,0 +1,75 @@
+#include "cluster/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ah::cluster {
+namespace {
+
+TEST(LoadBalancerTest, RoundRobinCycles) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(lb.pick(3));
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(LoadBalancerTest, RoundRobinSingleBackend) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(lb.pick(1), 0u);
+}
+
+TEST(LoadBalancerTest, RoundRobinResetRestartsCycle) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  lb.pick(3);
+  lb.pick(3);
+  lb.reset();
+  EXPECT_EQ(lb.pick(3), 0u);
+}
+
+TEST(LoadBalancerTest, RoundRobinHandlesBackendCountChange) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  lb.pick(3);
+  lb.pick(3);
+  // Shrink to 2 backends: pick stays in range.
+  for (int i = 0; i < 10; ++i) EXPECT_LT(lb.pick(2), 2u);
+}
+
+TEST(LoadBalancerTest, LeastLoadedPicksMinimum) {
+  LoadBalancer lb(BalancePolicy::kLeastLoaded);
+  const std::vector<double> loads{5.0, 1.0, 3.0};
+  EXPECT_EQ(lb.pick(3, [&](std::size_t i) { return loads[i]; }), 1u);
+}
+
+TEST(LoadBalancerTest, LeastLoadedTieBreaksToFirst) {
+  LoadBalancer lb(BalancePolicy::kLeastLoaded);
+  EXPECT_EQ(lb.pick(4, [](std::size_t) { return 2.0; }), 0u);
+}
+
+TEST(LoadBalancerTest, LeastLoadedWithoutLoadFnDefaultsToFirst) {
+  LoadBalancer lb(BalancePolicy::kLeastLoaded);
+  EXPECT_EQ(lb.pick(4), 0u);
+}
+
+TEST(LoadBalancerTest, RandomStaysInRange) {
+  LoadBalancer lb(BalancePolicy::kRandom, 99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(lb.pick(7), 7u);
+}
+
+TEST(LoadBalancerTest, RandomCoversAllBackends) {
+  LoadBalancer lb(BalancePolicy::kRandom, 7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[lb.pick(3)];
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [_, count] : counts) EXPECT_GT(count, 800);
+}
+
+TEST(LoadBalancerTest, RandomDeterministicPerSeed) {
+  LoadBalancer a(BalancePolicy::kRandom, 5);
+  LoadBalancer b(BalancePolicy::kRandom, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.pick(10), b.pick(10));
+}
+
+}  // namespace
+}  // namespace ah::cluster

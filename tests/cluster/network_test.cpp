@@ -1,0 +1,69 @@
+#include "cluster/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::cluster {
+namespace {
+
+using common::SimTime;
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  Network net_{sim_};
+  NodeHardware hw_{};
+};
+
+TEST_F(NetworkTest, DeliveryAfterSerializationPlusLatency) {
+  Node a(sim_, 0, "a", hw_);
+  Node b(sim_, 1, "b", hw_);
+  SimTime delivered = SimTime::zero();
+  // 12'500 bytes at 100 Mbps = 1 ms serialization; +200 us latency.
+  net_.send(a, b, 12'500, [&] { delivered = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(delivered, SimTime::micros(1200));
+}
+
+TEST_F(NetworkTest, SenderNicCharged) {
+  Node a(sim_, 0, "a", hw_);
+  Node b(sim_, 1, "b", hw_);
+  net_.send(a, b, 12'500, [] {});
+  sim_.run();
+  EXPECT_EQ(a.nic().completed(), 1u);
+  EXPECT_EQ(b.nic().completed(), 0u);
+}
+
+TEST_F(NetworkTest, LoopbackIsFree) {
+  Node a(sim_, 0, "a", hw_);
+  SimTime delivered = SimTime::millis(99);
+  net_.send(a, a, 1'000'000, [&] { delivered = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(delivered, SimTime::zero());
+  EXPECT_EQ(a.nic().completed(), 0u);
+}
+
+TEST_F(NetworkTest, ConcurrentSendsSerializeOnNic) {
+  Node a(sim_, 0, "a", hw_);
+  Node b(sim_, 1, "b", hw_);
+  SimTime first = SimTime::zero();
+  SimTime second = SimTime::zero();
+  net_.send(a, b, 12'500, [&] { first = sim_.now(); });
+  net_.send(a, b, 12'500, [&] { second = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(first, SimTime::micros(1200));
+  // Second message waits for the NIC: 2 ms serialization total.
+  EXPECT_EQ(second, SimTime::micros(2200));
+}
+
+TEST_F(NetworkTest, CountsTraffic) {
+  Node a(sim_, 0, "a", hw_);
+  Node b(sim_, 1, "b", hw_);
+  net_.send(a, b, 100, [] {});
+  net_.send(b, a, 200, [] {});
+  sim_.run();
+  EXPECT_EQ(net_.messages_sent(), 2u);
+  EXPECT_EQ(net_.bytes_sent(), 300);
+}
+
+}  // namespace
+}  // namespace ah::cluster

@@ -1,0 +1,60 @@
+#include "cluster/tier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::cluster {
+namespace {
+
+TEST(TierNamesTest, AllNamed) {
+  EXPECT_EQ(tier_name(TierKind::kProxy), "proxy");
+  EXPECT_EQ(tier_name(TierKind::kApp), "app");
+  EXPECT_EQ(tier_name(TierKind::kDb), "db");
+}
+
+TEST(TierIndexTest, StableIndices) {
+  EXPECT_EQ(tier_index(TierKind::kProxy), 0u);
+  EXPECT_EQ(tier_index(TierKind::kApp), 1u);
+  EXPECT_EQ(tier_index(TierKind::kDb), 2u);
+  EXPECT_EQ(kTierCount, 3u);
+}
+
+TEST(TierTest, StartsEmpty) {
+  Tier tier(TierKind::kApp);
+  EXPECT_TRUE(tier.empty());
+  EXPECT_EQ(tier.size(), 0u);
+  EXPECT_EQ(tier.kind(), TierKind::kApp);
+}
+
+TEST(TierTest, AddPreservesOrder) {
+  Tier tier(TierKind::kProxy);
+  tier.add(5);
+  tier.add(2);
+  tier.add(9);
+  EXPECT_EQ(tier.members(), (std::vector<NodeId>{5, 2, 9}));
+  EXPECT_EQ(tier.size(), 3u);
+}
+
+TEST(TierTest, ContainsReflectsMembership) {
+  Tier tier(TierKind::kDb);
+  tier.add(7);
+  EXPECT_TRUE(tier.contains(7));
+  EXPECT_FALSE(tier.contains(8));
+}
+
+TEST(TierTest, RemoveExisting) {
+  Tier tier(TierKind::kProxy);
+  tier.add(1);
+  tier.add(2);
+  EXPECT_TRUE(tier.remove(1));
+  EXPECT_EQ(tier.members(), (std::vector<NodeId>{2}));
+}
+
+TEST(TierTest, RemoveMissingReturnsFalse) {
+  Tier tier(TierKind::kProxy);
+  tier.add(1);
+  EXPECT_FALSE(tier.remove(99));
+  EXPECT_EQ(tier.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ah::cluster

@@ -1,0 +1,63 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ah::common {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "csv_test_out.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_back() {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"iter", "wips"});
+    w.write_row({"0", "110.5"});
+    w.write_row({1.0, 112.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_back(), "iter,wips\n0,110.5\n1,112.25\n");
+}
+
+TEST_F(CsvTest, WrongArityThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.write_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvEscapeTest, PlainCellUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuoteDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace ah::common

@@ -1,0 +1,73 @@
+#include "common/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::common {
+namespace {
+
+TEST(FmtTest, PlainPlaceholders) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(FmtTest, NoPlaceholders) {
+  EXPECT_EQ(format("hello"), "hello");
+}
+
+TEST(FmtTest, StringsAndChars) {
+  EXPECT_EQ(format("{}-{}", "ab", 'c'), "ab-c");
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.6), "3");
+}
+
+TEST(FmtTest, GeneralPrecision) {
+  EXPECT_EQ(format("{:.3g}", 1234.5678), "1.23e+03");
+}
+
+TEST(FmtTest, RightAlign) {
+  EXPECT_EQ(format("{:>6}", 42), "    42");
+}
+
+TEST(FmtTest, LeftAlign) {
+  EXPECT_EQ(format("{:<6}|", 42), "42    |");
+}
+
+TEST(FmtTest, AlignWithPrecision) {
+  EXPECT_EQ(format("{:>8.2f}", 3.14159), "    3.14");
+}
+
+TEST(FmtTest, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 7), "{7}");
+}
+
+TEST(FmtTest, ExtraArgumentsIgnored) {
+  EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(FmtTest, MissingArgumentThrows) {
+  EXPECT_THROW((void)format("{} {}", 1), std::invalid_argument);
+}
+
+TEST(FmtTest, UnbalancedBraceThrows) {
+  EXPECT_THROW((void)format("{oops", 1), std::invalid_argument);
+}
+
+TEST(FmtTest, UnsupportedSpecThrows) {
+  EXPECT_THROW((void)format("{:x}", 255), std::invalid_argument);
+}
+
+TEST(FmtTest, BoolAndNegative) {
+  EXPECT_EQ(format("{} {}", true, -5), "1 -5");
+}
+
+TEST(FmtTest, StreamStateRestoredBetweenPlaceholders) {
+  // The precision spec applied to the first value must not leak into the
+  // second.
+  EXPECT_EQ(format("{:.1f} {}", 1.25, 2.5), "1.2 2.5");
+}
+
+}  // namespace
+}  // namespace ah::common

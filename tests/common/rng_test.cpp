@@ -1,0 +1,187 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ah::common {
+namespace {
+
+TEST(Splitmix64Test, DeterministicSequence) {
+  std::uint64_t a = 42;
+  std::uint64_t b = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(a), splitmix64(b));
+  }
+}
+
+TEST(Splitmix64Test, AdvancesState) {
+  std::uint64_t state = 7;
+  const auto first = splitmix64(state);
+  const auto second = splitmix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(MixSeedTest, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+}
+
+TEST(MixSeedTest, Deterministic) {
+  EXPECT_EQ(mix_seed(123, 456), mix_seed(123, 456));
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlySeeded) {
+  Rng base(5);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1() == s2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values appear
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(3.5);
+  EXPECT_NEAR(sum / kDraws, 3.5, 0.05);
+}
+
+TEST(RngTest, ExponentialAlwaysPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(41);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(43);
+  std::vector<double> draws;
+  constexpr int kDraws = 50001;
+  draws.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) draws.push_back(rng.lognormal(1.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + kDraws / 2, draws.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(draws[kDraws / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(47);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng(59);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace ah::common

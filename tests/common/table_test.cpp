@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::common {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsPadToWidestCell) {
+  TextTable t({"h"});
+  t.add_row({"longer-cell"});
+  const std::string out = t.to_string();
+  // The header row must be padded to the data width.
+  EXPECT_NE(out.find("| h           |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(TextTableTest, ExtraCellsDropped) {
+  TextTable t({"only"});
+  t.add_row({"kept", "dropped"});
+  EXPECT_EQ(t.to_string().find("dropped"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(5.0, 0), "5");
+}
+
+TEST(TextTableTest, PercentFormats) {
+  EXPECT_EQ(TextTable::percent(0.163, 1), "16.3%");
+  EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+}
+
+TEST(TextTableTest, SeparatorsPresent) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  const std::string out = t.to_string();
+  // 3 separator lines: top, under-header, bottom.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace ah::common

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::common {
+namespace {
+
+TEST(SimTimeTest, Constructors) {
+  EXPECT_EQ(SimTime::zero().as_micros(), 0);
+  EXPECT_EQ(SimTime::micros(5).as_micros(), 5);
+  EXPECT_EQ(SimTime::millis(3).as_micros(), 3000);
+  EXPECT_EQ(SimTime::seconds(2.5).as_micros(), 2500000);
+}
+
+TEST(SimTimeTest, Conversions) {
+  const SimTime t = SimTime::millis(1500);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::millis(10);
+  const SimTime b = SimTime::millis(4);
+  EXPECT_EQ((a + b).as_micros(), 14000);
+  EXPECT_EQ((a - b).as_micros(), 6000);
+  EXPECT_EQ((a * 3).as_micros(), 30000);
+  EXPECT_EQ((3 * a).as_micros(), 30000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimTimeTest, ScalingByDouble) {
+  const SimTime a = SimTime::millis(10);
+  EXPECT_EQ((a * 1.5).as_micros(), 15000);
+  EXPECT_EQ((a * 0.0).as_micros(), 0);
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = SimTime::millis(1);
+  t += SimTime::millis(2);
+  EXPECT_EQ(t.as_micros(), 3000);
+  t -= SimTime::millis(1);
+  EXPECT_EQ(t.as_micros(), 2000);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(BytesTest, Literals) {
+  EXPECT_EQ(4_KiB, 4096);
+  EXPECT_EQ(2_MiB, 2 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace ah::common

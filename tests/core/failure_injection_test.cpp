@@ -1,0 +1,155 @@
+// Failure injection: the cluster must degrade gracefully, never wedge, and
+// recover — the "running continuously and reliably" requirement the paper's
+// introduction sets for e-commerce systems.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/system_model.hpp"
+
+namespace ah::core {
+namespace {
+
+using cluster::TierKind;
+using common::SimTime;
+
+Experiment::Config small_config(int browsers = 200) {
+  Experiment::Config config;
+  config.browsers = browsers;
+  config.workload = tpcw::WorkloadKind::kShopping;
+  config.iteration.warmup = SimTime::seconds(5.0);
+  config.iteration.measure = SimTime::seconds(20.0);
+  config.iteration.cooldown = SimTime::seconds(1.0);
+  return config;
+}
+
+TEST(FailureInjectionTest, DbOutageDegradesToCacheableTrafficAndRecovers) {
+  sim::Simulator sim;
+  SystemModel system(sim, {});
+  Experiment experiment(system, small_config());
+  experiment.run_iteration();
+  const auto healthy = experiment.run_iteration();
+
+  // Kill the database mid-run: dynamic pages fail, cacheable pages keep
+  // flowing from the proxy.
+  const auto db_id = system.cluster().tier(TierKind::kDb).members()[0];
+  system.db_on(db_id).set_active(false);
+  experiment.run_iteration();  // transition
+  const auto outage = experiment.run_iteration();
+  EXPECT_LT(outage.wips, healthy.wips);
+  EXPECT_GT(outage.error_ratio, 0.10);
+  EXPECT_GT(outage.wips_browse, 0.0);  // static traffic survives
+
+  // Recovery: reactivate and confirm throughput returns.
+  system.db_on(db_id).set_active(true);
+  experiment.run_iteration();
+  const auto recovered = experiment.run_iteration();
+  EXPECT_GT(recovered.wips, outage.wips);
+  EXPECT_LT(recovered.error_ratio, 0.05);
+}
+
+TEST(FailureInjectionTest, AppOutageFailsDynamicTraffic) {
+  sim::Simulator sim;
+  SystemModel system(sim, {});
+  Experiment experiment(system, small_config());
+  experiment.run_iteration();
+  const auto app_id = system.cluster().tier(TierKind::kApp).members()[0];
+  system.app_on(app_id).set_active(false);
+  experiment.run_iteration();
+  const auto outage = experiment.run_iteration();
+  // Every non-cached page fails; the system keeps responding (no wedge).
+  EXPECT_GT(outage.error_ratio, 0.10);
+  EXPECT_GT(outage.wips, 0.0);
+}
+
+TEST(FailureInjectionTest, OneOfTwoAppNodesDownHalvesCapacityOnly) {
+  sim::Simulator sim;
+  SystemModel::Config config;
+  config.lines = {SystemModel::LineSpec{1, 2, 1}};
+  SystemModel system(sim, config);
+  Experiment experiment(system, small_config(400));
+  experiment.run_iteration();
+  const auto before = experiment.run_iteration();
+
+  // Deregister one app server the way reconfiguration drains a node: stop
+  // new traffic by deactivating; the router's other backend absorbs load.
+  const auto victims = system.cluster().tier(TierKind::kApp).members();
+  system.app_on(victims[1]).set_active(false);
+  experiment.run_iteration();
+  const auto after = experiment.run_iteration();
+  // Errors rise (the dead backend still gets picked and fails fast) but
+  // the system keeps a substantial fraction of its throughput.
+  EXPECT_GT(after.wips, before.wips * 0.25);
+}
+
+TEST(FailureInjectionTest, MoveUnderFullLoadKeepsServing) {
+  sim::Simulator sim;
+  SystemModel::Config config;
+  config.lines = {SystemModel::LineSpec{3, 2, 2}};
+  SystemModel system(sim, config);
+  Experiment experiment(system, small_config(1200));  // heavy load
+  experiment.run_iteration();
+
+  const auto donor = system.cluster().tier(TierKind::kProxy).members()[0];
+  system.move_node(donor, TierKind::kApp, /*immediate=*/false,
+                   SimTime::seconds(8.0));
+  // The drain path must complete even while the queue never fully rests.
+  const auto during = experiment.run_iteration();
+  EXPECT_GT(during.wips, 0.0);
+  experiment.run_iteration();
+  EXPECT_FALSE(system.move_in_progress(donor));
+  EXPECT_EQ(system.cluster().tier_of(donor), TierKind::kApp);
+  const auto after = experiment.run_iteration();
+  EXPECT_GT(after.wips, 0.0);
+}
+
+TEST(FailureInjectionTest, RepeatedReconfigurationIsStable) {
+  sim::Simulator sim;
+  SystemModel::Config config;
+  config.lines = {SystemModel::LineSpec{3, 3, 1}};
+  SystemModel system(sim, config);
+  Experiment experiment(system, small_config(300));
+  experiment.run_iteration();
+  // Bounce a node back and forth several times; each move must complete
+  // and the system must keep serving.
+  const auto wanderer = system.cluster().tier(TierKind::kProxy).members()[0];
+  for (int round = 0; round < 3; ++round) {
+    system.move_node(wanderer, TierKind::kApp, true, SimTime::seconds(4.0));
+    experiment.run_iteration();
+    ASSERT_FALSE(system.move_in_progress(wanderer));
+    system.move_node(wanderer, TierKind::kProxy, true, SimTime::seconds(4.0));
+    experiment.run_iteration();
+    ASSERT_FALSE(system.move_in_progress(wanderer));
+  }
+  const auto final_result = experiment.run_iteration();
+  EXPECT_GT(final_result.wips, 0.0);
+  EXPECT_EQ(system.cluster().tier(TierKind::kProxy).size(), 3u);
+  EXPECT_EQ(system.cluster().tier(TierKind::kApp).size(), 3u);
+}
+
+TEST(FailureInjectionTest, PathologicalConfigThenRecoveryViaDefaults) {
+  sim::Simulator sim;
+  SystemModel system(sim, {});
+  Experiment experiment(system, small_config());
+  experiment.run_iteration();
+  const auto healthy = experiment.run_iteration();
+
+  // Worst-case configuration: minimum everything (1 thread, no queues,
+  // tiny caches).  The system must limp, not deadlock.
+  std::vector<std::int64_t> minimal;
+  for (const auto& spec : webstack::parameter_catalogue()) {
+    minimal.push_back(spec.min_value);
+  }
+  system.apply_values_all(minimal);
+  experiment.run_iteration();
+  const auto crippled = experiment.run_iteration();
+  EXPECT_GE(crippled.wips, 0.0);
+
+  // Applying the defaults restores health within two iterations.
+  system.apply_values_all(webstack::default_values());
+  experiment.run_iteration();
+  const auto restored = experiment.run_iteration();
+  EXPECT_GT(restored.wips, healthy.wips * 0.8);
+}
+
+}  // namespace
+}  // namespace ah::core

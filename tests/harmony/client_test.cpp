@@ -1,0 +1,93 @@
+#include "harmony/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ah::harmony {
+namespace {
+
+TEST(HarmonyClientTest, LifecycleOrderEnforced) {
+  HarmonyServer server;
+  HarmonyClient client(server);
+  EXPECT_THROW(client.add_variable("x", 0, 1, 0), std::logic_error);
+  EXPECT_THROW((void)client.request_all(), std::logic_error);
+  client.startup("app");
+  EXPECT_THROW(client.startup("app"), std::logic_error);
+  EXPECT_THROW((void)client.request_all(), std::logic_error);  // not started
+  client.add_variable("x", 0, 10, 5);
+  client.start();
+  EXPECT_THROW(client.start(), std::logic_error);
+  EXPECT_THROW(client.add_variable("y", 0, 1, 0), std::logic_error);
+  EXPECT_TRUE(client.started());
+}
+
+TEST(HarmonyClientTest, RequestAllKeyedByName) {
+  HarmonyServer server;
+  HarmonyClient client(server);
+  client.startup("app");
+  client.add_variable("threads", 1, 512, 16);
+  client.add_variable("buffer", 4, 4096, 64);
+  client.start();
+  const auto config = client.request_all();
+  ASSERT_EQ(config.size(), 2u);
+  EXPECT_EQ(config.at("threads"), 16);
+  EXPECT_EQ(config.at("buffer"), 64);
+}
+
+TEST(HarmonyClientTest, TuningLoopConverges) {
+  HarmonyServer server;
+  HarmonyClient client(server);
+  client.startup("synthetic");
+  client.add_variable("x", 0, 1000, 900);
+  client.start();
+  for (int i = 0; i < 120; ++i) {
+    const auto values = client.request_values();
+    const double d = static_cast<double>(values[0]) - 300.0;
+    client.performance_update(1000.0 - d * d / 100.0);  // peak at 300
+  }
+  EXPECT_NEAR(static_cast<double>(client.best_all().at("x")), 300.0, 30.0);
+  EXPECT_EQ(client.evaluations(), 120u);
+  EXPECT_GT(client.best_performance(), 990.0);
+}
+
+TEST(HarmonyClientTest, MultipleClientsIndependentSessions) {
+  HarmonyServer server;
+  HarmonyClient line0(server);
+  HarmonyClient line1(server);
+  line0.startup("line0");
+  line1.startup("line1");
+  line0.add_variable("x", 0, 100, 10);
+  line1.add_variable("x", 0, 100, 90);
+  line0.start();
+  line1.start();
+  EXPECT_EQ(line0.request_values()[0], 10);
+  EXPECT_EQ(line1.request_values()[0], 90);
+  line0.performance_update(1.0);
+  EXPECT_EQ(line0.evaluations(), 1u);
+  EXPECT_EQ(line1.evaluations(), 0u);
+  EXPECT_EQ(server.session_count(), 2u);
+}
+
+TEST(HarmonyClientTest, KernelChoicePassesThrough) {
+  HarmonyServer server;
+  HarmonyClient client(server);
+  SessionOptions options;
+  options.kernel = TuningKernel::kRandomSearch;
+  options.seed = 3;
+  client.startup("rand", options);
+  client.add_variable("x", 0, 100, 50);
+  client.start();
+  // Random search: after the default, proposals jump around.
+  EXPECT_EQ(client.request_values()[0], 50);
+  client.performance_update(1.0);
+  bool moved = false;
+  for (int i = 0; i < 10; ++i) {
+    if (client.request_values()[0] != 50) moved = true;
+    client.performance_update(1.0);
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace ah::harmony

@@ -1,0 +1,110 @@
+#include "harmony/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ah::harmony {
+namespace {
+
+ParameterSpace small_space() {
+  return ParameterSpace{{
+      {"threads", 1, 512, 16},
+      {"buffer_kb", 4, 4096, 64},
+      {"cache_mem", 2, 512, 8},
+  }};
+}
+
+TEST(ConfigIoTest, WriteProducesNameValueLines) {
+  std::ostringstream out;
+  write_configuration(out, small_space(), {32, 128, 21}, "tuned for browsing");
+  EXPECT_EQ(out.str(),
+            "# tuned for browsing\n"
+            "threads = 32\n"
+            "buffer_kb = 128\n"
+            "cache_mem = 21\n");
+}
+
+TEST(ConfigIoTest, WriteArityMismatchThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(write_configuration(out, small_space(), {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(ConfigIoTest, RoundTrip) {
+  const auto space = small_space();
+  const PointI values{100, 2048, 300};
+  std::stringstream stream;
+  write_configuration(stream, space, values);
+  EXPECT_EQ(read_configuration(stream, space), values);
+}
+
+TEST(ConfigIoTest, MissingNamesKeepDefaults) {
+  std::istringstream in("threads = 99\n");
+  EXPECT_EQ(read_configuration(in, small_space()), (PointI{99, 64, 8}));
+}
+
+TEST(ConfigIoTest, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "threads = 7   # trailing comment\n"
+      "   \t \n");
+  EXPECT_EQ(read_configuration(in, small_space())[0], 7);
+}
+
+TEST(ConfigIoTest, WhitespaceTolerant) {
+  std::istringstream in("  buffer_kb\t=   512  \n");
+  EXPECT_EQ(read_configuration(in, small_space())[1], 512);
+}
+
+TEST(ConfigIoTest, UnknownNameThrows) {
+  std::istringstream in("bogus = 1\n");
+  EXPECT_THROW((void)read_configuration(in, small_space()),
+               std::invalid_argument);
+}
+
+TEST(ConfigIoTest, MalformedLineThrows) {
+  std::istringstream in("threads 32\n");
+  EXPECT_THROW((void)read_configuration(in, small_space()),
+               std::invalid_argument);
+}
+
+TEST(ConfigIoTest, BadValueThrows) {
+  std::istringstream in("threads = lots\n");
+  EXPECT_THROW((void)read_configuration(in, small_space()),
+               std::invalid_argument);
+  std::istringstream in2("threads = 12abc\n");
+  EXPECT_THROW((void)read_configuration(in2, small_space()),
+               std::invalid_argument);
+}
+
+TEST(ConfigIoTest, OutOfBoundsClamped) {
+  std::istringstream in("threads = 100000\nbuffer_kb = 1\n");
+  const auto values = read_configuration(in, small_space());
+  EXPECT_EQ(values[0], 512);  // clamped to max
+  EXPECT_EQ(values[1], 4);    // clamped to min
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "config_io_test.conf";
+  const auto space = small_space();
+  const PointI values{10, 20, 30};
+  save_configuration(path, space, values, "unit test");
+  EXPECT_EQ(load_configuration(path, space), values);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_configuration("/no/such/file.conf", small_space()),
+               std::runtime_error);
+}
+
+TEST(ConfigIoTest, SaveToBadPathThrows) {
+  EXPECT_THROW(
+      save_configuration("/no-such-dir-xyz/f.conf", small_space(), {1, 2, 3}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ah::harmony

@@ -1,0 +1,166 @@
+#include "harmony/library_layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::harmony {
+namespace {
+
+OperationFamily::Options no_explore() {
+  OperationFamily::Options options;
+  options.explore_rate = 0.0;
+  return options;
+}
+
+TEST(OperationFamilyTest, RejectsBadOptions) {
+  OperationFamily::Options bad;
+  bad.buckets = 0;
+  EXPECT_THROW(OperationFamily("f", bad), std::invalid_argument);
+  bad = {};
+  bad.explore_rate = 1.0;
+  EXPECT_THROW(OperationFamily("f", bad), std::invalid_argument);
+}
+
+TEST(OperationFamilyTest, RegisterAssignsIndices) {
+  OperationFamily family("sort");
+  EXPECT_EQ(family.register_implementation("heap"), 0u);
+  EXPECT_EQ(family.register_implementation("quick"), 1u);
+  EXPECT_EQ(family.implementations(), 2u);
+  EXPECT_EQ(family.implementation_name(1), "quick");
+}
+
+TEST(OperationFamilyTest, SelectWithoutImplsThrows) {
+  OperationFamily family("empty");
+  EXPECT_THROW((void)family.select(), std::logic_error);
+}
+
+TEST(OperationFamilyTest, TriesEveryImplementationOnce) {
+  OperationFamily family("f", no_explore());
+  family.register_implementation("a");
+  family.register_implementation("b");
+  family.register_implementation("c");
+  // Unmeasured implementations are selected before any exploitation.
+  const auto first = family.select();
+  family.report(first, 1.0);
+  const auto second = family.select();
+  family.report(second, 1.0);
+  const auto third = family.select();
+  family.report(third, 1.0);
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+}
+
+TEST(OperationFamilyTest, ConvergesOnCheapestImplementation) {
+  OperationFamily family("f", no_explore());
+  family.register_implementation("slow");
+  family.register_implementation("fast");
+  for (int i = 0; i < 20; ++i) {
+    const auto choice = family.select();
+    family.report(choice, choice == 1 ? 1.0 : 10.0);
+  }
+  EXPECT_EQ(family.incumbent(), 1u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(family.select(), 1u);
+}
+
+TEST(OperationFamilyTest, ExplorationVisitsLosers) {
+  OperationFamily::Options options;
+  options.explore_rate = 0.3;
+  options.seed = 9;
+  OperationFamily family("f", options);
+  family.register_implementation("slow");
+  family.register_implementation("fast");
+  int slow_calls = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto choice = family.select();
+    if (choice == 0) ++slow_calls;
+    family.report(choice, choice == 1 ? 1.0 : 10.0);
+  }
+  // ~30% exploration => the loser keeps being sampled.
+  EXPECT_GT(slow_calls, 50);
+  EXPECT_LT(slow_calls, 350);
+}
+
+TEST(OperationFamilyTest, AdaptsWhenCostsFlip) {
+  OperationFamily::Options options;
+  options.explore_rate = 0.2;
+  options.cost_alpha = 0.4;
+  options.seed = 3;
+  OperationFamily family("f", options);
+  family.register_implementation("a");
+  family.register_implementation("b");
+  // Phase 1: a is cheap.
+  for (int i = 0; i < 200; ++i) {
+    const auto choice = family.select();
+    family.report(choice, choice == 0 ? 1.0 : 5.0);
+  }
+  EXPECT_EQ(family.incumbent(), 0u);
+  // Phase 2: costs flip; exploration must discover it.
+  for (int i = 0; i < 200; ++i) {
+    const auto choice = family.select();
+    family.report(choice, choice == 0 ? 5.0 : 1.0);
+  }
+  EXPECT_EQ(family.incumbent(), 1u);
+}
+
+TEST(OperationFamilyTest, BucketsIndependent) {
+  OperationFamily::Options options = no_explore();
+  options.buckets = 2;
+  OperationFamily family("f", options);
+  family.register_implementation("a");
+  family.register_implementation("b");
+  // Bucket 0 favours a, bucket 1 favours b.
+  for (int i = 0; i < 10; ++i) {
+    for (std::size_t bucket = 0; bucket < 2; ++bucket) {
+      const auto choice = family.select(bucket);
+      const bool winner = bucket == 0 ? choice == 0 : choice == 1;
+      family.report(choice, winner ? 1.0 : 9.0, bucket);
+    }
+  }
+  EXPECT_EQ(family.incumbent(0), 0u);
+  EXPECT_EQ(family.incumbent(1), 1u);
+}
+
+TEST(OperationFamilyTest, EstimatedCostTracksReports) {
+  OperationFamily family("f", no_explore());
+  family.register_implementation("a");
+  EXPECT_LT(family.estimated_cost(0), 0.0);  // unmeasured
+  family.report(0, 10.0);
+  EXPECT_DOUBLE_EQ(family.estimated_cost(0), 10.0);
+  family.report(0, 0.0);
+  EXPECT_NEAR(family.estimated_cost(0), 8.0, 1e-12);  // alpha = 0.2
+  EXPECT_EQ(family.calls(0), 2u);
+}
+
+TEST(OperationFamilyTest, OutOfRangeThrows) {
+  OperationFamily family("f");
+  family.register_implementation("a");
+  EXPECT_THROW((void)family.estimated_cost(5), std::out_of_range);
+  EXPECT_THROW(family.report(0, 1.0, 7), std::out_of_range);
+}
+
+TEST(TunedOperationTest, DispatchesAndLearns) {
+  TunedOperation<void(int)> op("op", [] {
+    OperationFamily::Options options;
+    options.explore_rate = 0.0;
+    return options;
+  }());
+  int a_calls = 0;
+  int b_calls = 0;
+  double fake_clock = 0.0;
+  op.set_clock([&fake_clock] { return fake_clock; });
+  op.add("slow", [&](int) {
+    ++a_calls;
+    fake_clock += 10.0;
+  });
+  op.add("fast", [&](int) {
+    ++b_calls;
+    fake_clock += 1.0;
+  });
+  for (int i = 0; i < 30; ++i) op(i);
+  EXPECT_EQ(a_calls + b_calls, 30);
+  EXPECT_GT(b_calls, a_calls);  // converged on the fast one
+  EXPECT_EQ(op.family().incumbent(), 1u);
+}
+
+}  // namespace
+}  // namespace ah::harmony

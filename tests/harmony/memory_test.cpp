@@ -1,0 +1,78 @@
+#include "harmony/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::harmony {
+namespace {
+
+TEST(ConfigurationMemoryTest, EmptyRecallsNothing) {
+  ConfigurationMemory memory;
+  EXPECT_FALSE(memory.recall({0.5, 0.5}).has_value());
+  EXPECT_EQ(memory.size(), 0u);
+}
+
+TEST(ConfigurationMemoryTest, ExactRecall) {
+  ConfigurationMemory memory;
+  memory.remember({0.95, 0.5}, {1, 2, 3}, 100.0, "browsing");
+  const auto entry = memory.recall({0.95, 0.5});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->configuration, (PointI{1, 2, 3}));
+  EXPECT_EQ(entry->label, "browsing");
+}
+
+TEST(ConfigurationMemoryTest, NearbyRecallWithinRadius) {
+  ConfigurationMemory memory(0.25);
+  memory.remember({0.95, 0.5}, {1}, 100.0);
+  EXPECT_TRUE(memory.recall({0.90, 0.45}).has_value());
+  EXPECT_FALSE(memory.recall({0.50, 0.50}).has_value());
+}
+
+TEST(ConfigurationMemoryTest, NearestWins) {
+  ConfigurationMemory memory(0.5);
+  memory.remember({0.0}, {10}, 1.0, "a");
+  memory.remember({1.0}, {20}, 1.0, "b");
+  EXPECT_EQ(memory.recall({0.1})->label, "a");
+  EXPECT_EQ(memory.recall({0.9})->label, "b");
+}
+
+TEST(ConfigurationMemoryTest, UpgradeOnlyWithBetterPerformance) {
+  ConfigurationMemory memory(0.25);
+  memory.remember({0.5}, {1}, 100.0);
+  memory.remember({0.5}, {2}, 50.0);  // worse: ignored
+  EXPECT_EQ(memory.size(), 1u);
+  EXPECT_EQ(memory.recall({0.5})->configuration, (PointI{1}));
+  memory.remember({0.5}, {3}, 200.0);  // better: replaces
+  EXPECT_EQ(memory.recall({0.5})->configuration, (PointI{3}));
+  EXPECT_EQ(memory.size(), 1u);
+}
+
+TEST(ConfigurationMemoryTest, DistinctSignaturesAppend) {
+  ConfigurationMemory memory(0.1);
+  memory.remember({0.0}, {1}, 1.0);
+  memory.remember({1.0}, {2}, 1.0);
+  memory.remember({2.0}, {3}, 1.0);
+  EXPECT_EQ(memory.size(), 3u);
+}
+
+TEST(ConfigurationMemoryTest, ArityMismatchNeverMatches) {
+  ConfigurationMemory memory(10.0);
+  memory.remember({0.5, 0.5}, {1}, 1.0);
+  EXPECT_FALSE(memory.recall({0.5}).has_value());
+}
+
+TEST(ConfigurationMemoryTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(ConfigurationMemory::distance({0.0, 0.0}, {3.0, 4.0}),
+                   5.0);
+  EXPECT_TRUE(std::isinf(ConfigurationMemory::distance({0.0}, {0.0, 0.0})));
+}
+
+TEST(ConfigurationMemoryTest, ClearEmpties) {
+  ConfigurationMemory memory;
+  memory.remember({0.5}, {1}, 1.0);
+  memory.clear();
+  EXPECT_EQ(memory.size(), 0u);
+  EXPECT_FALSE(memory.recall({0.5}).has_value());
+}
+
+}  // namespace
+}  // namespace ah::harmony

@@ -1,0 +1,109 @@
+#include "harmony/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::harmony {
+namespace {
+
+ParameterSpace small_space() {
+  return ParameterSpace{{
+      {"a", 0, 10, 5},
+      {"b", -5, 5, 0},
+      {"c", 100, 1000, 100},
+  }};
+}
+
+TEST(TunableParameterTest, RangeAndContains) {
+  const TunableParameter p{"x", 2, 8, 4};
+  EXPECT_EQ(p.range(), 6);
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_TRUE(p.contains(8));
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_FALSE(p.contains(9));
+}
+
+TEST(ParameterSpaceTest, AddValidatesBounds) {
+  ParameterSpace space;
+  EXPECT_THROW(space.add({"bad", 10, 5, 7}), std::invalid_argument);
+  EXPECT_THROW(space.add({"bad", 0, 5, 7}), std::invalid_argument);
+  EXPECT_EQ(space.add({"ok", 0, 5, 3}), 0u);
+  EXPECT_EQ(space.add({"ok2", 0, 5, 3}), 1u);
+}
+
+TEST(ParameterSpaceTest, Accessors) {
+  const auto space = small_space();
+  EXPECT_EQ(space.dimensions(), 3u);
+  EXPECT_FALSE(space.empty());
+  EXPECT_EQ(space.parameter(1).name, "b");
+  EXPECT_EQ(space.index_of("c"), 2u);
+  EXPECT_THROW(space.index_of("zzz"), std::out_of_range);
+}
+
+TEST(ParameterSpaceTest, Defaults) {
+  EXPECT_EQ(small_space().defaults(), (PointI{5, 0, 100}));
+}
+
+TEST(ParameterSpaceTest, Valid) {
+  const auto space = small_space();
+  EXPECT_TRUE(space.valid({5, 0, 100}));
+  EXPECT_TRUE(space.valid({10, -5, 1000}));
+  EXPECT_FALSE(space.valid({11, 0, 100}));   // out of bounds
+  EXPECT_FALSE(space.valid({5, 0}));         // wrong arity
+  EXPECT_FALSE(space.valid({5, 0, 99}));     // below min
+}
+
+TEST(ParameterSpaceTest, ProjectRoundsAndClamps) {
+  const auto space = small_space();
+  EXPECT_EQ(space.project({5.4, -0.6, 250.5}), (PointI{5, -1, 251}));
+  EXPECT_EQ(space.project({-3.0, 99.0, 2000.0}), (PointI{0, 5, 1000}));
+}
+
+TEST(ParameterSpaceTest, ProjectArityMismatchThrows) {
+  EXPECT_THROW((void)small_space().project({1.0}), std::invalid_argument);
+}
+
+TEST(ParameterSpaceTest, ClampBringsIntoBounds) {
+  const auto space = small_space();
+  EXPECT_EQ(space.clamp({100, -100, 0}), (PointI{10, -5, 100}));
+  EXPECT_THROW((void)space.clamp({1, 2}), std::invalid_argument);
+}
+
+TEST(ParameterSpaceTest, RandomPointInBounds) {
+  const auto space = small_space();
+  common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.valid(space.random_point(rng)));
+  }
+}
+
+TEST(ParameterSpaceTest, ToContinuous) {
+  const PointD d = ParameterSpace::to_continuous({1, -2, 3});
+  EXPECT_EQ(d, (PointD{1.0, -2.0, 3.0}));
+}
+
+TEST(ParameterSpaceTest, SubspaceSelectsDimensions) {
+  const auto space = small_space();
+  const std::vector<std::size_t> indices{2, 0};
+  const auto sub = space.subspace(indices);
+  ASSERT_EQ(sub.dimensions(), 2u);
+  EXPECT_EQ(sub.parameter(0).name, "c");
+  EXPECT_EQ(sub.parameter(1).name, "a");
+}
+
+TEST(ParameterSpaceTest, ScatterGatherRoundTrip) {
+  const std::vector<std::size_t> indices{2, 0};
+  PointI full{5, 0, 100};
+  ParameterSpace::scatter(indices, {777, 9}, full);
+  EXPECT_EQ(full, (PointI{9, 0, 777}));
+  EXPECT_EQ(ParameterSpace::gather(indices, full), (PointI{777, 9}));
+}
+
+TEST(ParameterSpaceTest, ScatterArityMismatchThrows) {
+  PointI full{1, 2, 3};
+  const std::vector<std::size_t> indices{0};
+  EXPECT_THROW(ParameterSpace::scatter(indices, {1, 2}, full),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ah::harmony

@@ -1,0 +1,219 @@
+#include "harmony/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::harmony {
+namespace {
+
+ReconfigOptions two_resource_options() {
+  ReconfigOptions options;
+  options.resources = {
+      ResourcePolicy{0.85, 0.30, 4.0},  // cpu (urgent)
+      ResourcePolicy{0.85, 0.30, 1.0},  // disk
+  };
+  options.config_cost_seconds = 10.0;
+  return options;
+}
+
+NodeReading reading(std::uint32_t id, int tier, double cpu, double disk,
+                    double jobs = 0.0, double avg_process = 0.02,
+                    double move_cost = 0.01) {
+  NodeReading r;
+  r.node_id = id;
+  r.tier = tier;
+  r.utilization = {cpu, disk};
+  r.jobs = jobs;
+  r.avg_process_seconds = avg_process;
+  r.move_cost_seconds = move_cost;
+  return r;
+}
+
+TEST(ReconfigurerTest, RejectsEmptyPolicies) {
+  EXPECT_THROW(Reconfigurer{ReconfigOptions{}}, std::invalid_argument);
+}
+
+TEST(ReconfigurerTest, RejectsInvertedThresholds) {
+  ReconfigOptions options;
+  options.resources = {ResourcePolicy{0.3, 0.8, 1.0}};
+  EXPECT_THROW(Reconfigurer{options}, std::invalid_argument);
+}
+
+TEST(ReconfigurerTest, UrgencyZeroWhenUnderThreshold) {
+  Reconfigurer r(two_resource_options());
+  EXPECT_EQ(r.urgency(reading(0, 0, 0.5, 0.5)), 0.0);
+}
+
+TEST(ReconfigurerTest, UrgencyWeightsResources) {
+  Reconfigurer r(two_resource_options());
+  // CPU overload of 0.10 with weight 4 vs disk overload of 0.10 with
+  // weight 1: the CPU node must be more urgent (paper footnote 3).
+  const double cpu_urgency = r.urgency(reading(0, 0, 0.95, 0.0));
+  const double disk_urgency = r.urgency(reading(1, 0, 0.0, 0.95));
+  EXPECT_GT(cpu_urgency, disk_urgency);
+}
+
+TEST(ReconfigurerTest, OverloadedListSortedByUrgency) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 0, 0.90, 0.0),   // mildly hot
+      reading(1, 1, 0.99, 0.0),   // very hot
+      reading(2, 2, 0.10, 0.10),  // cool
+  };
+  const auto hot = r.overloaded(readings);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0]->node_id, 1u);
+  EXPECT_EQ(hot[1]->node_id, 0u);
+}
+
+TEST(ReconfigurerTest, IdleRequiresAllResourcesLow) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 0, 0.10, 0.10),  // idle
+      reading(1, 0, 0.10, 0.50),  // disk busy -> not idle
+  };
+  const auto idle = r.idle(readings);
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_EQ(idle[0]->node_id, 0u);
+}
+
+TEST(ReconfigurerTest, Equation1Arithmetic) {
+  Reconfigurer r(two_resource_options());
+  // F=10, N=100 jobs, M=0.05s, A=0.02s: 10 + 5 - 2 = 13.
+  const auto donor = reading(0, 0, 0.0, 0.0, 100.0, 0.02, 0.05);
+  EXPECT_NEAR(r.move_cost(donor), 13.0, 1e-9);
+}
+
+TEST(ReconfigurerTest, NoDecisionWithoutOverload) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 0, 0.5, 0.2),
+      reading(1, 1, 0.1, 0.1),
+  };
+  EXPECT_FALSE(r.decide(readings).has_value());
+}
+
+TEST(ReconfigurerTest, NoDecisionWithoutIdleDonor) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 0, 0.99, 0.2),
+      reading(1, 1, 0.6, 0.6),  // busy but not overloaded: not a donor
+  };
+  EXPECT_FALSE(r.decide(readings).has_value());
+}
+
+TEST(ReconfigurerTest, BasicMoveDecision) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),            // hot app node
+      reading(1, 0, 0.05, 0.05),           // idle proxy node
+      reading(2, 0, 0.50, 0.50),           // other proxy (keeps tier alive)
+  };
+  const auto decision = r.decide(readings);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->overloaded_node, 0u);
+  EXPECT_EQ(decision->donor_node, 1u);
+  EXPECT_EQ(decision->from_tier, 0);
+  EXPECT_EQ(decision->to_tier, 1);
+}
+
+TEST(ReconfigurerTest, DonorMustBeDifferentTier) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),   // hot app
+      reading(1, 1, 0.05, 0.05),  // idle but same tier
+  };
+  EXPECT_FALSE(r.decide(readings).has_value());
+}
+
+TEST(ReconfigurerTest, LastNodeOfTierProtected) {
+  Reconfigurer r(two_resource_options());
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),   // hot app
+      reading(1, 0, 0.05, 0.05),  // idle proxy, but the ONLY proxy
+  };
+  EXPECT_FALSE(r.decide(readings).has_value());  // step 4(b)
+}
+
+TEST(ReconfigurerTest, CheapestDonorChosen) {
+  Reconfigurer r(two_resource_options());
+  // Two idle donors; donor 2 has fewer jobs to migrate -> lower Eq. 1.
+  auto expensive = reading(1, 0, 0.05, 0.05, /*jobs=*/500.0, 0.001, 0.05);
+  auto cheap = reading(2, 0, 0.05, 0.05, /*jobs=*/1.0, 0.001, 0.05);
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),
+      expensive,
+      cheap,
+      reading(3, 0, 0.5, 0.5),  // keeps the proxy tier populated
+  };
+  const auto decision = r.decide(readings);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->donor_node, 2u);
+}
+
+TEST(ReconfigurerTest, ImmediateWhenEquationNonPositive) {
+  ReconfigOptions options = two_resource_options();
+  options.config_cost_seconds = 1.0;
+  Reconfigurer r(options);
+  // N=100, M=0.001, A=0.05: 1 + 0.1 - 5 = -3.9 <= 0 -> immediate.
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),
+      reading(1, 0, 0.05, 0.05, 100.0, 0.05, 0.001),
+      reading(2, 0, 0.5, 0.5),
+  };
+  const auto decision = r.decide(readings);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->immediate);
+  EXPECT_LE(decision->cost_seconds, 0.0);
+}
+
+TEST(ReconfigurerTest, DrainWhenEquationPositive) {
+  Reconfigurer r(two_resource_options());  // F = 10
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),
+      reading(1, 0, 0.05, 0.05, 1.0, 0.02, 0.01),
+      reading(2, 0, 0.5, 0.5),
+  };
+  const auto decision = r.decide(readings);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->immediate);
+  EXPECT_GT(decision->cost_seconds, 0.0);
+}
+
+TEST(ReconfigurerTest, FallsThroughToNextUrgentNode) {
+  Reconfigurer r(two_resource_options());
+  // Head of L1 is an app node whose only possible donor tier is empty of
+  // idle nodes in *other* tiers except its own; second hot node can be
+  // helped.
+  const std::vector<NodeReading> readings{
+      reading(0, 1, 0.99, 0.2),   // hottest: app tier
+      reading(1, 1, 0.05, 0.05),  // idle, same tier as node 0 -> no donor
+      reading(2, 0, 0.90, 0.2),   // second hottest: proxy tier
+      reading(3, 0, 0.5, 0.5),
+  };
+  // For node 0 the only idle node (1) shares its tier -> skip; for node 2
+  // the idle node 1 is in a different tier and tier 1 has 2 members.
+  const auto decision = r.decide(readings);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->overloaded_node, 2u);
+  EXPECT_EQ(decision->donor_node, 1u);
+}
+
+TEST(ReconfigurerTest, MemoryOnlyOverloadCounts) {
+  ReconfigOptions options;
+  options.resources = {
+      ResourcePolicy{0.85, 0.30, 4.0},
+      ResourcePolicy{0.97, 0.90, 3.0},  // memory-style policy
+  };
+  Reconfigurer r(options);
+  NodeReading hot = reading(0, 1, 0.2, 0.0);
+  hot.utilization[1] = 0.99;  // paging
+  const std::vector<NodeReading> readings{
+      hot,
+      reading(1, 0, 0.05, 0.05),
+      reading(2, 0, 0.5, 0.5),
+  };
+  ASSERT_TRUE(r.decide(readings).has_value());
+}
+
+}  // namespace
+}  // namespace ah::harmony

@@ -1,0 +1,122 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ah::sim {
+namespace {
+
+using common::SimTime;
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EventQueueTest, PopInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::millis(30), [&] { order.push_back(3); });
+  q.push(SimTime::millis(10), [&] { order.push_back(1); });
+  q.push(SimTime::millis(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(SimTime::millis(7), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(SimTime::millis(5), [] {});
+  q.push(SimTime::millis(2), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::millis(2));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(SimTime::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::millis(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::millis(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::millis(1), [&] { order.push_back(1); });
+  const EventId mid = q.push(SimTime::millis(2), [&] { order.push_back(2); });
+  q.push(SimTime::millis(3), [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.live_size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelHeadAdjustsNextTime) {
+  EventQueue q;
+  const EventId head = q.push(SimTime::millis(1), [] {});
+  q.push(SimTime::millis(9), [] {});
+  q.cancel(head);
+  EXPECT_EQ(q.next_time(), SimTime::millis(9));
+}
+
+TEST(EventQueueTest, LiveSizeTracksCancellations) {
+  EventQueue q;
+  const EventId a = q.push(SimTime::millis(1), [] {});
+  q.push(SimTime::millis(2), [] {});
+  EXPECT_EQ(q.live_size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.live_size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  // Insert times in a scrambled deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const int t = (i * 7919) % 1000;
+    q.push(SimTime::micros(t), [] {});
+  }
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    const auto entry = q.pop();
+    EXPECT_GE(entry.time, last);
+    last = entry.time;
+  }
+}
+
+}  // namespace
+}  // namespace ah::sim

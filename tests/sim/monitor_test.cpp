@@ -1,0 +1,102 @@
+#include "sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::sim {
+namespace {
+
+using common::SimTime;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(MonitorTest, SamplesOnPeriod) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  int calls = 0;
+  monitor.add_probe("p", [&] {
+    ++calls;
+    return 0.5;
+  });
+  monitor.start();
+  sim_.run_until(SimTime::seconds(5.5));
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(monitor.samples_taken(), 5u);
+}
+
+TEST_F(MonitorTest, NoSamplesBeforeStart) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  monitor.add_probe("p", [] { return 1.0; });
+  sim_.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(monitor.samples_taken(), 0u);
+}
+
+TEST_F(MonitorTest, StopHaltsSampling) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  monitor.add_probe("p", [] { return 1.0; });
+  monitor.start();
+  sim_.run_until(SimTime::seconds(2.5));
+  monitor.stop();
+  const auto samples = monitor.samples_taken();
+  sim_.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(monitor.samples_taken(), samples);
+}
+
+TEST_F(MonitorTest, SmoothedIsEwma) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0), 0.5);
+  double value = 0.0;
+  monitor.add_probe("p", [&] { return value; });
+  value = 1.0;
+  monitor.sample_now();
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 1.0);
+  value = 0.0;
+  monitor.sample_now();
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 0.5);
+  EXPECT_DOUBLE_EQ(monitor.last_raw(0), 0.0);
+}
+
+TEST_F(MonitorTest, MultipleProbesIndependent) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0), 1.0);
+  const auto a = monitor.add_probe("a", [] { return 0.25; });
+  const auto b = monitor.add_probe("b", [] { return 0.75; });
+  monitor.sample_now();
+  EXPECT_DOUBLE_EQ(monitor.smoothed(a), 0.25);
+  EXPECT_DOUBLE_EQ(monitor.smoothed(b), 0.75);
+  EXPECT_EQ(monitor.probe_name(a), "a");
+  EXPECT_EQ(monitor.probe_name(b), "b");
+}
+
+TEST_F(MonitorTest, ZeroBeforeFirstSample) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  monitor.add_probe("p", [] { return 0.9; });
+  EXPECT_EQ(monitor.smoothed(0), 0.0);
+  EXPECT_EQ(monitor.last_raw(0), 0.0);
+}
+
+TEST_F(MonitorTest, RestartResumesSampling) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  monitor.add_probe("p", [] { return 0.1; });
+  monitor.start();
+  sim_.run_until(SimTime::seconds(2.5));
+  monitor.stop();
+  monitor.start();
+  sim_.run_until(SimTime::seconds(5.5));
+  EXPECT_GE(monitor.samples_taken(), 4u);
+}
+
+TEST_F(MonitorTest, DoubleStartIsIdempotent) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
+  int calls = 0;
+  monitor.add_probe("p", [&] {
+    ++calls;
+    return 0.0;
+  });
+  monitor.start();
+  monitor.start();
+  sim_.run_until(SimTime::seconds(3.5));
+  EXPECT_EQ(calls, 3);  // not doubled
+}
+
+}  // namespace
+}  // namespace ah::sim

@@ -1,0 +1,156 @@
+#include "sim/slot_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ah::sim {
+namespace {
+
+using common::SimTime;
+
+class SlotPoolTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(SlotPoolTest, GrantsImmediatelyWhenFree) {
+  SlotPool pool(sim_, "p", {.slots = 2});
+  bool granted = false;
+  EXPECT_TRUE(pool.acquire([&] { granted = true; }));
+  EXPECT_TRUE(granted);  // synchronous grant
+  EXPECT_EQ(pool.in_use(), 1);
+}
+
+TEST_F(SlotPoolTest, QueuesWhenFull) {
+  SlotPool pool(sim_, "p", {.slots = 1});
+  bool second = false;
+  pool.acquire([] {});
+  EXPECT_TRUE(pool.acquire([&] { second = true; }));
+  EXPECT_FALSE(second);
+  EXPECT_EQ(pool.queue_length(), 1u);
+  pool.release();
+  EXPECT_FALSE(second);  // deferred grant via zero-delay event
+  sim_.run();
+  EXPECT_TRUE(second);
+}
+
+TEST_F(SlotPoolTest, RejectsWhenQueueFull) {
+  SlotPool pool(sim_, "p", {.slots = 1, .queue_capacity = 1});
+  pool.acquire([] {});
+  EXPECT_TRUE(pool.acquire([] {}));
+  EXPECT_FALSE(pool.acquire([] { FAIL() << "must not be granted"; }));
+  EXPECT_EQ(pool.rejected(), 1u);
+}
+
+TEST_F(SlotPoolTest, FifoGrantOrder) {
+  SlotPool pool(sim_, "p", {.slots = 1});
+  std::vector<int> order;
+  pool.acquire([] {});
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  pool.release();
+  sim_.run();
+  pool.release();
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SlotPoolTest, GrantedAndRejectedCounts) {
+  SlotPool pool(sim_, "p", {.slots = 1, .queue_capacity = 0});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  EXPECT_EQ(pool.granted(), 1u);
+  EXPECT_EQ(pool.rejected(), 2u);
+}
+
+TEST_F(SlotPoolTest, GrowAdmitsWaiters) {
+  SlotPool pool(sim_, "p", {.slots = 1});
+  int grants = 0;
+  pool.acquire([&] { ++grants; });
+  pool.acquire([&] { ++grants; });
+  pool.acquire([&] { ++grants; });
+  EXPECT_EQ(grants, 1);
+  pool.set_slots(3);
+  sim_.run();
+  EXPECT_EQ(grants, 3);
+  EXPECT_EQ(pool.in_use(), 3);
+}
+
+TEST_F(SlotPoolTest, ShrinkBelowInUseIsGraceful) {
+  SlotPool pool(sim_, "p", {.slots = 2});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.set_slots(1);
+  EXPECT_EQ(pool.in_use(), 2);  // holders keep their slots
+  bool waiter = false;
+  pool.acquire([&] { waiter = true; });
+  pool.release();
+  sim_.run();
+  EXPECT_FALSE(waiter);  // in_use (1) == slots (1): still full
+  pool.release();
+  sim_.run();
+  EXPECT_TRUE(waiter);
+}
+
+TEST_F(SlotPoolTest, PeakInUseTracksHighWater) {
+  SlotPool pool(sim_, "p", {.slots = 4});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.release();
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 1);
+  EXPECT_EQ(pool.peak_in_use(), 3);
+  pool.reset_peak();
+  EXPECT_EQ(pool.peak_in_use(), 1);
+}
+
+TEST_F(SlotPoolTest, BusyIntegralAccumulates) {
+  SlotPool pool(sim_, "p", {.slots = 2});
+  pool.acquire([] {});
+  sim_.schedule(SimTime::millis(10), [&] { pool.release(); });
+  sim_.run();
+  EXPECT_EQ(pool.busy_integral(), 10000);
+}
+
+TEST_F(SlotPoolTest, UtilizationSince) {
+  SlotPool pool(sim_, "p", {.slots = 2});
+  const auto i0 = pool.busy_integral();
+  const auto t0 = sim_.now();
+  pool.acquire([] {});
+  sim_.schedule(SimTime::millis(10), [&] { pool.release(); });
+  sim_.run();
+  sim_.run_until(SimTime::millis(20));
+  // 1 of 2 slots for half the window = 0.25.
+  EXPECT_NEAR(pool.utilization_since(i0, t0), 0.25, 1e-9);
+}
+
+TEST_F(SlotPoolTest, ClearWaitersDropsQueue) {
+  SlotPool pool(sim_, "p", {.slots = 1});
+  pool.acquire([] {});
+  pool.acquire([] { FAIL() << "dropped waiter must not fire"; });
+  pool.acquire([] { FAIL() << "dropped waiter must not fire"; });
+  EXPECT_EQ(pool.clear_waiters(), 2u);
+  pool.release();
+  sim_.run();
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.rejected(), 2u);
+}
+
+TEST_F(SlotPoolTest, ReleaseGrantIsDeferredNotReentrant) {
+  SlotPool pool(sim_, "p", {.slots = 1});
+  bool in_release = false;
+  bool grant_ran_during_release = false;
+  pool.acquire([] {});
+  pool.acquire([&] { grant_ran_during_release = in_release; });
+  in_release = true;
+  pool.release();
+  in_release = false;
+  sim_.run();
+  EXPECT_FALSE(grant_ran_during_release);
+}
+
+}  // namespace
+}  // namespace ah::sim

@@ -1,0 +1,120 @@
+#include "tpcw/interactions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::tpcw {
+namespace {
+
+TEST(InteractionsTest, CountIs14) {
+  EXPECT_EQ(kInteractionCount, 14);
+}
+
+TEST(InteractionsTest, AllNamed) {
+  for (int i = 0; i < kInteractionCount; ++i) {
+    EXPECT_NE(interaction_name(static_cast<Interaction>(i)), "?");
+  }
+}
+
+TEST(InteractionsTest, BrowseClassificationMatchesSpec) {
+  // TPC-W Browse category: Home, New Products, Best Sellers, Product
+  // Detail, Search Request, Search Results.  The rest are Order.
+  EXPECT_TRUE(is_browse(Interaction::kHome));
+  EXPECT_TRUE(is_browse(Interaction::kNewProducts));
+  EXPECT_TRUE(is_browse(Interaction::kBestSellers));
+  EXPECT_TRUE(is_browse(Interaction::kProductDetail));
+  EXPECT_TRUE(is_browse(Interaction::kSearchRequest));
+  EXPECT_TRUE(is_browse(Interaction::kSearchResults));
+  EXPECT_FALSE(is_browse(Interaction::kShoppingCart));
+  EXPECT_FALSE(is_browse(Interaction::kCustomerRegistration));
+  EXPECT_FALSE(is_browse(Interaction::kBuyRequest));
+  EXPECT_FALSE(is_browse(Interaction::kBuyConfirm));
+  EXPECT_FALSE(is_browse(Interaction::kOrderInquiry));
+  EXPECT_FALSE(is_browse(Interaction::kOrderDisplay));
+  EXPECT_FALSE(is_browse(Interaction::kAdminRequest));
+  EXPECT_FALSE(is_browse(Interaction::kAdminConfirm));
+}
+
+TEST(InteractionsTest, ExactlySixBrowseInteractions) {
+  int browse = 0;
+  for (int i = 0; i < kInteractionCount; ++i) {
+    if (is_browse(static_cast<Interaction>(i))) ++browse;
+  }
+  EXPECT_EQ(browse, 6);
+}
+
+TEST(InteractionsTest, ProfilesHavePositiveDemands) {
+  for (int i = 0; i < kInteractionCount; ++i) {
+    const auto& p = profile_for(static_cast<Interaction>(i));
+    EXPECT_GT(p.response_bytes, 0) << p.name;
+    EXPECT_GT(p.proxy_cpu.as_micros(), 0) << p.name;
+    EXPECT_GT(p.app_cpu.as_micros(), 0) << p.name;
+    for (int q : p.queries) EXPECT_GE(q, 0) << p.name;
+  }
+}
+
+TEST(InteractionsTest, OrderPagesWriteToTheDatabase) {
+  EXPECT_TRUE(profile_for(Interaction::kBuyConfirm).has_writes());
+  EXPECT_TRUE(profile_for(Interaction::kShoppingCart).has_writes());
+  EXPECT_TRUE(profile_for(Interaction::kBuyRequest).has_writes());
+  EXPECT_FALSE(profile_for(Interaction::kHome).has_writes());
+  EXPECT_FALSE(profile_for(Interaction::kSearchRequest).has_writes());
+}
+
+TEST(InteractionsTest, BestSellersIsJoinHeavy) {
+  const auto& p = profile_for(Interaction::kBestSellers);
+  EXPECT_GE(p.queries[static_cast<int>(webstack::QueryClass::kSelectJoin)], 2);
+}
+
+TEST(InteractionsTest, StaticFormsNeedNoDatabase) {
+  EXPECT_FALSE(profile_for(Interaction::kSearchRequest).needs_db());
+  EXPECT_FALSE(profile_for(Interaction::kCustomerRegistration).needs_db());
+  EXPECT_FALSE(profile_for(Interaction::kOrderInquiry).needs_db());
+}
+
+TEST(InteractionsTest, CacheabilitySplit) {
+  EXPECT_TRUE(profile_for(Interaction::kHome).cacheable);
+  EXPECT_TRUE(profile_for(Interaction::kProductDetail).cacheable);
+  EXPECT_FALSE(profile_for(Interaction::kShoppingCart).cacheable);
+  EXPECT_FALSE(profile_for(Interaction::kBuyConfirm).cacheable);
+  EXPECT_FALSE(profile_for(Interaction::kSearchResults).cacheable);
+}
+
+TEST(InteractionsTest, TotalQueriesSumsClasses) {
+  const auto& p = profile_for(Interaction::kBuyConfirm);
+  EXPECT_EQ(p.total_queries(),
+            p.queries[0] + p.queries[1] + p.queries[2] + p.queries[3]);
+}
+
+TEST(ObjectSpaceTest, ProductDetailSpansItems) {
+  EXPECT_EQ(object_space(Interaction::kProductDetail, 10000), 10000u);
+  EXPECT_EQ(object_space(Interaction::kProductDetail, 100), 100u);
+}
+
+TEST(ObjectSpaceTest, ListingPagesSpanSubjects) {
+  EXPECT_EQ(object_space(Interaction::kNewProducts, 10000), 24u);
+  EXPECT_EQ(object_space(Interaction::kBestSellers, 10000), 24u);
+}
+
+TEST(ObjectSpaceTest, StaticPagesSingleObject) {
+  EXPECT_EQ(object_space(Interaction::kHome, 10000), 1u);
+  EXPECT_EQ(object_space(Interaction::kSearchRequest, 10000), 1u);
+}
+
+TEST(ObjectSpaceTest, NonCacheableZero) {
+  EXPECT_EQ(object_space(Interaction::kBuyConfirm, 10000), 0u);
+  EXPECT_EQ(object_space(Interaction::kSearchResults, 10000), 0u);
+}
+
+TEST(ObjectIdTest, EncodingRoundTrips) {
+  const auto id = make_object_id(Interaction::kProductDetail, 1234);
+  EXPECT_EQ(static_cast<Interaction>(id >> 48), Interaction::kProductDetail);
+  EXPECT_EQ(id & 0xFFFFFFFFFFFFULL, 1234u);
+}
+
+TEST(ObjectIdTest, DistinctInteractionsDistinctIds) {
+  EXPECT_NE(make_object_id(Interaction::kHome, 0),
+            make_object_id(Interaction::kNewProducts, 0));
+}
+
+}  // namespace
+}  // namespace ah::tpcw

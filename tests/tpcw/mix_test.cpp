@@ -1,0 +1,123 @@
+#include "tpcw/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+namespace ah::tpcw {
+namespace {
+
+TEST(MixTest, WeightsNormalized) {
+  const Mix& m = Mix::standard(WorkloadKind::kBrowsing);
+  double total = 0.0;
+  for (int i = 0; i < kInteractionCount; ++i) {
+    total += m.weight(static_cast<Interaction>(i));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MixTest, BrowseFractionsMatchTable1) {
+  // Paper Table 1: Browse 95% / 80% / 50%.
+  EXPECT_NEAR(Mix::standard(WorkloadKind::kBrowsing).browse_fraction(), 0.95,
+              1e-3);
+  EXPECT_NEAR(Mix::standard(WorkloadKind::kShopping).browse_fraction(), 0.80,
+              1e-3);
+  EXPECT_NEAR(Mix::standard(WorkloadKind::kOrdering).browse_fraction(), 0.50,
+              1e-3);
+}
+
+TEST(MixTest, Table1SpotChecks) {
+  const Mix& browsing = Mix::standard(WorkloadKind::kBrowsing);
+  EXPECT_NEAR(browsing.weight(Interaction::kHome), 0.29, 1e-6);
+  EXPECT_NEAR(browsing.weight(Interaction::kAdminConfirm), 0.0009, 1e-6);
+  const Mix& ordering = Mix::standard(WorkloadKind::kOrdering);
+  EXPECT_NEAR(ordering.weight(Interaction::kBuyConfirm), 0.1018, 1e-6);
+  EXPECT_NEAR(ordering.weight(Interaction::kShoppingCart), 0.1353, 1e-6);
+  const Mix& shopping = Mix::standard(WorkloadKind::kShopping);
+  EXPECT_NEAR(shopping.weight(Interaction::kSearchRequest), 0.20, 1e-6);
+}
+
+TEST(MixTest, SamplingMatchesWeights) {
+  const Mix& m = Mix::standard(WorkloadKind::kShopping);
+  common::Rng rng(123);
+  std::map<Interaction, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[m.sample(rng)];
+  for (int i = 0; i < kInteractionCount; ++i) {
+    const auto interaction = static_cast<Interaction>(i);
+    const double expected = m.weight(interaction);
+    const double actual =
+        static_cast<double>(counts[interaction]) / kDraws;
+    EXPECT_NEAR(actual, expected, 0.005)
+        << interaction_name(interaction);
+  }
+}
+
+TEST(MixTest, CustomWeightsNormalized) {
+  std::array<double, kInteractionCount> w{};
+  w[0] = 3.0;
+  w[1] = 1.0;
+  const Mix m(w);
+  EXPECT_NEAR(m.weight(Interaction::kHome), 0.75, 1e-12);
+  EXPECT_NEAR(m.weight(Interaction::kNewProducts), 0.25, 1e-12);
+  EXPECT_EQ(m.weight(Interaction::kBuyConfirm), 0.0);
+}
+
+TEST(MixTest, ZeroWeightsThrow) {
+  std::array<double, kInteractionCount> w{};
+  EXPECT_THROW(Mix m(w), std::invalid_argument);
+}
+
+TEST(MixTest, NegativeWeightThrows) {
+  std::array<double, kInteractionCount> w{};
+  w[0] = 1.0;
+  w[1] = -0.5;
+  EXPECT_THROW(Mix m(w), std::invalid_argument);
+}
+
+TEST(MixTest, SampleNeverReturnsZeroWeightInteraction) {
+  std::array<double, kInteractionCount> w{};
+  w[3] = 1.0;
+  const Mix m(w);
+  common::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(m.sample(rng), Interaction::kProductDetail);
+  }
+}
+
+TEST(MixTest, WorkloadNames) {
+  EXPECT_EQ(workload_name(WorkloadKind::kBrowsing), "Browsing");
+  EXPECT_EQ(workload_name(WorkloadKind::kShopping), "Shopping");
+  EXPECT_EQ(workload_name(WorkloadKind::kOrdering), "Ordering");
+}
+
+// Parameterized: each standard mix is a valid distribution with the
+// paper's Browse/Order split.
+class StandardMixSweep : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(StandardMixSweep, AllWeightsNonNegativeAndSumToOne) {
+  const Mix& m = Mix::standard(GetParam());
+  double total = 0.0;
+  for (int i = 0; i < kInteractionCount; ++i) {
+    const double w = m.weight(static_cast<Interaction>(i));
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(StandardMixSweep, OrderingHasHighestOrderShare) {
+  const double order_share = 1.0 - Mix::standard(GetParam()).browse_fraction();
+  const double ordering_share =
+      1.0 - Mix::standard(WorkloadKind::kOrdering).browse_fraction();
+  EXPECT_LE(order_share, ordering_share + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMixes, StandardMixSweep,
+                         ::testing::Values(WorkloadKind::kBrowsing,
+                                           WorkloadKind::kShopping,
+                                           WorkloadKind::kOrdering));
+
+}  // namespace
+}  // namespace ah::tpcw

@@ -1,0 +1,78 @@
+#include "tpcw/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ah::tpcw {
+namespace {
+
+TEST(ZipfTest, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 0.8), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler z(100, 0.8);
+  common::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler z(1000, 0.8);
+  for (std::uint64_t k = 1; k < 1000; ++k) {
+    EXPECT_GE(z.pmf(k - 1), z.pmf(k));
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(500, 1.2);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 500; ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfOutOfRangeZero) {
+  ZipfSampler z(10, 0.8);
+  EXPECT_EQ(z.pmf(10), 0.0);
+  EXPECT_EQ(z.pmf(1000), 0.0);
+}
+
+TEST(ZipfTest, HeadHeavierWithLargerAlpha) {
+  ZipfSampler mild(1000, 0.5);
+  ZipfSampler steep(1000, 1.5);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler z(50, 0.9);
+  common::Rng rng(77);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kDraws, z.pmf(k), 0.005);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler z(1, 0.8);
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ZipfTest, SizeAndAlphaAccessors) {
+  ZipfSampler z(42, 0.7);
+  EXPECT_EQ(z.size(), 42u);
+  EXPECT_DOUBLE_EQ(z.alpha(), 0.7);
+}
+
+}  // namespace
+}  // namespace ah::tpcw

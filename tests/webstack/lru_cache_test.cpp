@@ -1,0 +1,189 @@
+#include "webstack/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::webstack {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache cache(1000);
+  EXPECT_EQ(cache.lookup(1), -1);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, HitAfterInsert) {
+  LruCache cache(1000);
+  EXPECT_TRUE(cache.insert(1, 100));
+  EXPECT_EQ(cache.lookup(1), 100);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.used(), 100);
+}
+
+TEST(LruCacheTest, ContainsDoesNotPromoteOrCount) {
+  LruCache cache(1000);
+  cache.insert(1, 10);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // Watermarks 100/100 => plain LRU at exact capacity.
+  LruCache cache(300, 100, 100);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.insert(3, 100);
+  cache.insert(4, 100);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, LookupPromotes) {
+  LruCache cache(300, 100, 100);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.insert(3, 100);
+  cache.lookup(1);       // 1 becomes MRU; 2 is now LRU
+  cache.insert(4, 100);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCacheTest, WatermarkEvictionDownToLow) {
+  // capacity 1000, high 90% (900), low 50% (500).
+  LruCache cache(1000, 50, 90);
+  for (std::uint64_t k = 0; k < 9; ++k) cache.insert(k, 100);
+  EXPECT_EQ(cache.used(), 900);  // at high watermark, no eviction yet
+  cache.insert(9, 100);          // crosses high -> evict to low
+  EXPECT_LE(cache.used(), 500);
+}
+
+TEST(LruCacheTest, OversizedObjectRefused) {
+  LruCache cache(1000, 90, 95);
+  EXPECT_FALSE(cache.insert(1, 951));  // > high watermark bytes
+  EXPECT_TRUE(cache.insert(2, 900));
+}
+
+TEST(LruCacheTest, RefreshUpdatesSizeInPlace) {
+  LruCache cache(1000, 100, 100);
+  cache.insert(1, 100);
+  cache.insert(1, 300);
+  EXPECT_EQ(cache.used(), 300);
+  EXPECT_EQ(cache.object_count(), 1u);
+  EXPECT_EQ(cache.lookup(1), 300);
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache cache(1000);
+  cache.insert(1, 100);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_EQ(cache.lookup(1), -1);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(1000);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.clear();
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_EQ(cache.object_count(), 0u);
+}
+
+TEST(LruCacheTest, ShrinkCapacityEvicts) {
+  LruCache cache(1000, 100, 100);
+  for (std::uint64_t k = 0; k < 10; ++k) cache.insert(k, 100);
+  cache.set_capacity(300);
+  EXPECT_LE(cache.used(), 300);
+  EXPECT_TRUE(cache.contains(9));  // MRU survives
+}
+
+TEST(LruCacheTest, GrowCapacityKeepsContents) {
+  LruCache cache(200, 100, 100);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.set_capacity(1000);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(LruCacheTest, TightenWatermarksEvicts) {
+  LruCache cache(1000, 90, 95);
+  for (std::uint64_t k = 0; k < 9; ++k) cache.insert(k, 100);
+  cache.set_watermarks(30, 50);
+  EXPECT_LE(cache.used(), 300);
+}
+
+TEST(LruCacheTest, HitRatio) {
+  LruCache cache(1000);
+  cache.insert(1, 10);
+  cache.lookup(1);
+  cache.lookup(1);
+  cache.lookup(2);
+  EXPECT_NEAR(cache.hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LruCacheTest, HitRatioZeroWithoutLookups) {
+  LruCache cache(1000);
+  EXPECT_EQ(cache.hit_ratio(), 0.0);
+}
+
+TEST(LruCacheTest, FreshEntryHitsBeforeExpiry) {
+  LruCache cache(1000);
+  cache.insert(1, 100, common::SimTime::seconds(10.0));
+  EXPECT_EQ(cache.lookup(1, common::SimTime::seconds(5.0)), 100);
+  EXPECT_EQ(cache.expirations(), 0u);
+}
+
+TEST(LruCacheTest, ExpiredEntryMissesAndIsEvicted) {
+  LruCache cache(1000);
+  cache.insert(1, 100, common::SimTime::seconds(10.0));
+  EXPECT_EQ(cache.lookup(1, common::SimTime::seconds(10.0)), -1);  // at expiry
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruCacheTest, ReinsertRefreshesExpiry) {
+  LruCache cache(1000);
+  cache.insert(1, 100, common::SimTime::seconds(10.0));
+  cache.insert(1, 100, common::SimTime::seconds(30.0));
+  EXPECT_EQ(cache.lookup(1, common::SimTime::seconds(20.0)), 100);
+}
+
+TEST(LruCacheTest, DefaultExpiryIsNever) {
+  LruCache cache(1000);
+  cache.insert(1, 100);
+  EXPECT_EQ(cache.lookup(1, common::SimTime::seconds(1e9)), 100);
+}
+
+TEST(LruCacheTest, ZeroSizeObjectsAllowed) {
+  LruCache cache(100);
+  EXPECT_TRUE(cache.insert(1, 0));
+  EXPECT_EQ(cache.lookup(1), 0);
+}
+
+// Property-style sweep: the byte budget invariant holds across watermark
+// combinations and access patterns.
+class LruWatermarkSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LruWatermarkSweep, UsedNeverExceedsHighWatermarkAfterInsert) {
+  const auto [low, high] = GetParam();
+  LruCache cache(10'000, low, high);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    cache.insert(k, 37 + (k * 13) % 400);
+    EXPECT_LE(cache.used(), cache.capacity() * high / 100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Watermarks, LruWatermarkSweep,
+    ::testing::Values(std::pair{50, 60}, std::pair{90, 95}, std::pair{30, 90},
+                      std::pair{95, 99}, std::pair{100, 100}));
+
+}  // namespace
+}  // namespace ah::webstack

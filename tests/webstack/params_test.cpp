@@ -1,0 +1,145 @@
+#include "webstack/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ah::webstack {
+namespace {
+
+TEST(CatalogueTest, Has23Parameters) {
+  EXPECT_EQ(parameter_catalogue().size(), 23u);
+}
+
+TEST(CatalogueTest, TierSliceSizesMatchPaper) {
+  // Table 3: 7 proxy, 7 web, 9 database parameters.
+  EXPECT_EQ(catalogue_indices_for(cluster::TierKind::kProxy).size(), 7u);
+  EXPECT_EQ(catalogue_indices_for(cluster::TierKind::kApp).size(), 7u);
+  EXPECT_EQ(catalogue_indices_for(cluster::TierKind::kDb).size(), 9u);
+}
+
+TEST(CatalogueTest, DefaultsMatchPaperTable3) {
+  const auto& cat = parameter_catalogue();
+  auto default_of = [&](const std::string& name) {
+    return cat[catalogue_index(name)].default_value;
+  };
+  EXPECT_EQ(default_of("cache_mem"), 8);
+  EXPECT_EQ(default_of("cache_swap_low"), 90);
+  EXPECT_EQ(default_of("cache_swap_high"), 95);
+  EXPECT_EQ(default_of("maximum_object_size"), 4096);
+  EXPECT_EQ(default_of("minProcessors"), 5);
+  EXPECT_EQ(default_of("maxProcessors"), 20);
+  EXPECT_EQ(default_of("acceptCount"), 10);
+  EXPECT_EQ(default_of("bufferSize"), 2048);
+  EXPECT_EQ(default_of("binlog_cache_size"), 32768);
+  EXPECT_EQ(default_of("max_connections"), 100);
+  EXPECT_EQ(default_of("join_buffer_size"), 8388600);
+  EXPECT_EQ(default_of("table_cache"), 64);
+  EXPECT_EQ(default_of("thread_con"), 10);
+  EXPECT_EQ(default_of("thread_stack"), 65535);
+}
+
+TEST(CatalogueTest, BoundsContainDefaults) {
+  for (const auto& spec : parameter_catalogue()) {
+    EXPECT_LE(spec.min_value, spec.default_value) << spec.name;
+    EXPECT_LE(spec.default_value, spec.max_value) << spec.name;
+  }
+}
+
+TEST(CatalogueTest, BoundsContainPaperTunedValues) {
+  // The widest tuned values reported in Table 3 must be reachable.
+  const auto& cat = parameter_catalogue();
+  auto check = [&](const std::string& name, std::int64_t tuned) {
+    const auto& spec = cat[catalogue_index(name)];
+    EXPECT_GE(tuned, spec.min_value) << name;
+    EXPECT_LE(tuned, spec.max_value) << name;
+  };
+  check("cache_mem", 21);
+  check("maximum_object_size_in_memory", 2560);
+  check("store_objects_per_bucket", 105);
+  check("minProcessors", 102);
+  check("maxProcessors", 131);
+  check("acceptCount", 671);
+  check("AJPmaxProcessors", 296);
+  check("binlog_cache_size", 284672);
+  check("max_connections", 701);
+  check("table_cache", 905);
+  check("thread_con", 91);
+  check("thread_stack", 1018880);
+}
+
+TEST(CatalogueTest, UnknownNameThrows) {
+  EXPECT_THROW(catalogue_index("no_such_param"), std::out_of_range);
+}
+
+TEST(CatalogueTest, DefaultValuesVectorAligned) {
+  const auto values = default_values();
+  ASSERT_EQ(values.size(), 23u);
+  const auto& cat = parameter_catalogue();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], cat[i].default_value);
+  }
+}
+
+TEST(ParamDecodeTest, ProxyFromDefaults) {
+  const auto p = proxy_from_values(default_values());
+  EXPECT_EQ(p.cache_mem, 8LL * 1024 * 1024);
+  EXPECT_EQ(p.cache_swap_low, 90);
+  EXPECT_EQ(p.cache_swap_high, 95);
+  EXPECT_EQ(p.maximum_object_size, 4096LL * 1024);
+  EXPECT_EQ(p.minimum_object_size, 0);
+  EXPECT_EQ(p.maximum_object_size_in_memory, 8LL * 1024);
+  EXPECT_EQ(p.store_objects_per_bucket, 20);
+}
+
+TEST(ParamDecodeTest, AppFromDefaults) {
+  const auto a = app_from_values(default_values());
+  EXPECT_EQ(a.min_processors, 5);
+  EXPECT_EQ(a.max_processors, 20);
+  EXPECT_EQ(a.accept_count, 10);
+  EXPECT_EQ(a.buffer_size, 2048);
+  EXPECT_EQ(a.ajp_min_processors, 5);
+  EXPECT_EQ(a.ajp_max_processors, 20);
+  EXPECT_EQ(a.ajp_accept_count, 10);
+}
+
+TEST(ParamDecodeTest, DbFromDefaults) {
+  const auto d = db_from_values(default_values());
+  EXPECT_EQ(d.binlog_cache_size, 32768);
+  EXPECT_EQ(d.delayed_insert_limit, 100);
+  EXPECT_EQ(d.max_connections, 100);
+  EXPECT_EQ(d.delayed_queue_size, 1000);
+  EXPECT_EQ(d.join_buffer_size, 8388600);
+  EXPECT_EQ(d.net_buffer_length, 16384);
+  EXPECT_EQ(d.table_cache, 64);
+  EXPECT_EQ(d.thread_concurrency, 10);
+  EXPECT_EQ(d.thread_stack, 65535);
+}
+
+TEST(ParamDecodeTest, WrongSizeThrows) {
+  std::vector<std::int64_t> wrong(5, 1);
+  EXPECT_THROW((void)proxy_from_values(wrong), std::invalid_argument);
+  EXPECT_THROW((void)app_from_values(wrong), std::invalid_argument);
+  EXPECT_THROW((void)db_from_values(wrong), std::invalid_argument);
+}
+
+TEST(ParamDecodeTest, RoundTripThroughToValues) {
+  auto values = default_values();
+  values[catalogue_index("cache_mem")] = 21;
+  values[catalogue_index("maxProcessors")] = 131;
+  values[catalogue_index("thread_con")] = 91;
+  const auto p = proxy_from_values(values);
+  const auto a = app_from_values(values);
+  const auto d = db_from_values(values);
+  EXPECT_EQ(to_values(p, a, d), values);
+}
+
+TEST(ParamDecodeTest, UnitConversions) {
+  auto values = default_values();
+  values[catalogue_index("cache_mem")] = 16;              // MB
+  values[catalogue_index("maximum_object_size")] = 2048;  // KB
+  const auto p = proxy_from_values(values);
+  EXPECT_EQ(p.cache_mem, 16LL * 1024 * 1024);
+  EXPECT_EQ(p.maximum_object_size, 2048LL * 1024);
+}
+
+}  // namespace
+}  // namespace ah::webstack

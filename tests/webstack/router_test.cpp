@@ -1,0 +1,203 @@
+#include "webstack/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ah::webstack {
+namespace {
+
+using common::SimTime;
+
+/// A full miniature deployment: 1 proxy node, N app nodes, 1 db node.
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : net_(sim_),
+        frontend_(sim_, cluster::BalancePolicy::kRoundRobin),
+        app_router_(net_, cluster::BalancePolicy::kRoundRobin),
+        db_router_(net_, cluster::BalancePolicy::kRoundRobin) {}
+
+  cluster::Node& add_node(const std::string& name) {
+    nodes_.push_back(std::make_unique<cluster::Node>(
+        sim_, static_cast<cluster::NodeId>(nodes_.size()), name,
+        cluster::NodeHardware{}));
+    return *nodes_.back();
+  }
+
+  AppServer& add_app(cluster::Node& node) {
+    apps_.push_back(std::make_unique<AppServer>(
+        sim_, node,
+        [this](const DbQuery& q, cluster::Node& from, DbResultFn done) {
+          db_router_.route(q, from, std::move(done));
+        },
+        AppParams{}));
+    app_router_.add_backend(apps_.back().get());
+    return *apps_.back();
+  }
+
+  DbServer& add_db(cluster::Node& node) {
+    dbs_.push_back(std::make_unique<DbServer>(sim_, node, DbParams{}));
+    db_router_.add_backend(dbs_.back().get());
+    return *dbs_.back();
+  }
+
+  ProxyServer& add_proxy(cluster::Node& node) {
+    proxies_.push_back(std::make_unique<ProxyServer>(
+        sim_, node,
+        [this](const Request& r, cluster::Node& from, ResponseFn done) {
+          app_router_.route(r, from, std::move(done));
+        },
+        ProxyParams{}));
+    frontend_.add_backend(proxies_.back().get());
+    return *proxies_.back();
+  }
+
+  Request make_request(bool needs_db) {
+    static RequestProfile dynamic_db = [] {
+      RequestProfile p;
+      p.name = "dyn-db";
+      p.cacheable = false;
+      p.app_cpu = SimTime::millis(2);
+      p.queries[0] = 2;
+      return p;
+    }();
+    static RequestProfile dynamic_nodb = [] {
+      RequestProfile p;
+      p.name = "dyn";
+      p.cacheable = false;
+      p.app_cpu = SimTime::millis(2);
+      return p;
+    }();
+    Request r;
+    r.id = next_id_++;
+    r.profile = needs_db ? &dynamic_db : &dynamic_nodb;
+    r.object_id = r.id;
+    r.response_bytes = 8192;
+    r.issued_at = sim_.now();
+    return r;
+  }
+
+  sim::Simulator sim_;
+  cluster::Network net_;
+  FrontendRouter frontend_;
+  AppTierRouter app_router_;
+  DbTierRouter db_router_;
+  std::vector<std::unique_ptr<cluster::Node>> nodes_;
+  std::vector<std::unique_ptr<ProxyServer>> proxies_;
+  std::vector<std::unique_ptr<AppServer>> apps_;
+  std::vector<std::unique_ptr<DbServer>> dbs_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(RouterTest, EndToEndThroughAllTiers) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  add_db(add_node("d0"));
+  Response out;
+  frontend_.route(make_request(true), [&](const Response& r) { out = r; });
+  sim_.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.origin, Response::Origin::kDb);
+  EXPECT_EQ(dbs_[0]->stats().queries, 2u);
+}
+
+TEST_F(RouterTest, EmptyFrontendFailsFast) {
+  Response out{true, Response::Origin::kApp, 1};
+  frontend_.route(make_request(false), [&](const Response& r) { out = r; });
+  sim_.run();
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(RouterTest, EmptyAppTierFailsThroughProxy) {
+  add_proxy(add_node("p0"));
+  Response out;
+  frontend_.route(make_request(false), [&](const Response& r) { out = r; });
+  sim_.run();
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(RouterTest, EmptyDbTierFailsThroughApp) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  Response out;
+  frontend_.route(make_request(true), [&](const Response& r) { out = r; });
+  sim_.run();
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(RouterTest, RoundRobinSpreadsAcrossAppNodes) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  add_app(add_node("a1"));
+  add_db(add_node("d0"));
+  for (int i = 0; i < 10; ++i) {
+    frontend_.route(make_request(false), [](const Response&) {});
+    sim_.run();
+  }
+  EXPECT_EQ(apps_[0]->stats().served, 5u);
+  EXPECT_EQ(apps_[1]->stats().served, 5u);
+}
+
+TEST_F(RouterTest, RemoveBackendStopsNewTraffic) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  add_app(add_node("a1"));
+  add_db(add_node("d0"));
+  EXPECT_TRUE(app_router_.remove_backend(apps_[0].get()));
+  for (int i = 0; i < 4; ++i) {
+    frontend_.route(make_request(false), [](const Response&) {});
+    sim_.run();
+  }
+  EXPECT_EQ(apps_[0]->stats().served, 0u);
+  EXPECT_EQ(apps_[1]->stats().served, 4u);
+}
+
+TEST_F(RouterTest, RemoveUnknownBackendReturnsFalse) {
+  add_proxy(add_node("p0"));
+  auto& node = add_node("ax");
+  AppServer orphan(
+      sim_, node,
+      [](const DbQuery&, cluster::Node&, DbResultFn done) {
+        done(DbResult{true});
+      },
+      AppParams{});
+  EXPECT_FALSE(app_router_.remove_backend(&orphan));
+}
+
+TEST_F(RouterTest, NetworkChargesSenderNics) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  add_db(add_node("d0"));
+  frontend_.route(make_request(true), [](const Response&) {});
+  sim_.run();
+  // proxy NIC: forward to app + response to client; app NIC: queries +
+  // response; db NIC: results.
+  EXPECT_GT(nodes_[0]->nic().completed(), 0u);
+  EXPECT_GT(nodes_[1]->nic().completed(), 0u);
+  EXPECT_GT(nodes_[2]->nic().completed(), 0u);
+}
+
+TEST_F(RouterTest, ClientLatencyAddsRoundTrip) {
+  add_proxy(add_node("p0"));
+  add_app(add_node("a0"));
+  add_db(add_node("d0"));
+  SimTime done_at;
+  frontend_.route(make_request(false),
+                  [&](const Response&) { done_at = sim_.now(); });
+  sim_.run();
+  // At least two client-latency hops (300us each) plus service.
+  EXPECT_GE(done_at, SimTime::micros(600));
+}
+
+TEST_F(RouterTest, BackendCountsTrackAddRemove) {
+  EXPECT_EQ(frontend_.backend_count(), 0u);
+  auto& proxy = add_proxy(add_node("p0"));
+  EXPECT_EQ(frontend_.backend_count(), 1u);
+  EXPECT_TRUE(frontend_.remove_backend(&proxy));
+  EXPECT_EQ(frontend_.backend_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ah::webstack
