@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ah_bench_util.dir/bench_util.cpp.o.d"
+  "libah_bench_util.a"
+  "libah_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

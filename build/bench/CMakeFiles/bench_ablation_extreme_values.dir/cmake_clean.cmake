@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extreme_values.dir/bench_ablation_extreme_values.cpp.o"
+  "CMakeFiles/bench_ablation_extreme_values.dir/bench_ablation_extreme_values.cpp.o.d"
+  "bench_ablation_extreme_values"
+  "bench_ablation_extreme_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extreme_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_responsiveness.dir/bench_fig5_responsiveness.cpp.o"
+  "CMakeFiles/bench_fig5_responsiveness.dir/bench_fig5_responsiveness.cpp.o.d"
+  "bench_fig5_responsiveness"
+  "bench_fig5_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

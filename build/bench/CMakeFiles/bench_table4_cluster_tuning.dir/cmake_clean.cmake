@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cluster_tuning.dir/bench_table4_cluster_tuning.cpp.o"
+  "CMakeFiles/bench_table4_cluster_tuning.dir/bench_table4_cluster_tuning.cpp.o.d"
+  "bench_table4_cluster_tuning"
+  "bench_table4_cluster_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cluster_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

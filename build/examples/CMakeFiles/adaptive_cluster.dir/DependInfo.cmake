@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_cluster.cpp" "examples/CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o" "gcc" "examples/CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harmony/CMakeFiles/ah_harmony.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcw/CMakeFiles/ah_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/webstack/CMakeFiles/ah_webstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_inspect.dir/cluster_inspect.cpp.o"
+  "CMakeFiles/cluster_inspect.dir/cluster_inspect.cpp.o.d"
+  "cluster_inspect"
+  "cluster_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_compare.dir/config_compare.cpp.o"
+  "CMakeFiles/config_compare.dir/config_compare.cpp.o.d"
+  "config_compare"
+  "config_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

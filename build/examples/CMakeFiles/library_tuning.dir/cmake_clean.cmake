@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_tuning.dir/library_tuning.cpp.o"
+  "CMakeFiles/library_tuning.dir/library_tuning.cpp.o.d"
+  "library_tuning"
+  "library_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ah_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ah_cluster.dir/load_balancer.cpp.o"
+  "CMakeFiles/ah_cluster.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/ah_cluster.dir/network.cpp.o"
+  "CMakeFiles/ah_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/ah_cluster.dir/node.cpp.o"
+  "CMakeFiles/ah_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/ah_cluster.dir/tier.cpp.o"
+  "CMakeFiles/ah_cluster.dir/tier.cpp.o.d"
+  "libah_cluster.a"
+  "libah_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_common.dir/csv.cpp.o"
+  "CMakeFiles/ah_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ah_common.dir/log.cpp.o"
+  "CMakeFiles/ah_common.dir/log.cpp.o.d"
+  "CMakeFiles/ah_common.dir/stats.cpp.o"
+  "CMakeFiles/ah_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ah_common.dir/table.cpp.o"
+  "CMakeFiles/ah_common.dir/table.cpp.o.d"
+  "CMakeFiles/ah_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ah_common.dir/thread_pool.cpp.o.d"
+  "libah_common.a"
+  "libah_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libah_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/ah_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/reconfig_controller.cpp" "src/core/CMakeFiles/ah_core.dir/reconfig_controller.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/reconfig_controller.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "src/core/CMakeFiles/ah_core.dir/system_model.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/system_model.cpp.o.d"
+  "/root/repo/src/core/tuning_driver.cpp" "src/core/CMakeFiles/ah_core.dir/tuning_driver.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/tuning_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harmony/CMakeFiles/ah_harmony.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcw/CMakeFiles/ah_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/webstack/CMakeFiles/ah_webstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_core.dir/experiment.cpp.o"
+  "CMakeFiles/ah_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ah_core.dir/reconfig_controller.cpp.o"
+  "CMakeFiles/ah_core.dir/reconfig_controller.cpp.o.d"
+  "CMakeFiles/ah_core.dir/system_model.cpp.o"
+  "CMakeFiles/ah_core.dir/system_model.cpp.o.d"
+  "CMakeFiles/ah_core.dir/tuning_driver.cpp.o"
+  "CMakeFiles/ah_core.dir/tuning_driver.cpp.o.d"
+  "libah_core.a"
+  "libah_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harmony/baselines.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/baselines.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/baselines.cpp.o.d"
+  "/root/repo/src/harmony/client.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/client.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/client.cpp.o.d"
+  "/root/repo/src/harmony/config_io.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/config_io.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/config_io.cpp.o.d"
+  "/root/repo/src/harmony/library_layer.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/library_layer.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/library_layer.cpp.o.d"
+  "/root/repo/src/harmony/memory.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/memory.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/memory.cpp.o.d"
+  "/root/repo/src/harmony/parameter.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/parameter.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/parameter.cpp.o.d"
+  "/root/repo/src/harmony/reconfig.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/reconfig.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/reconfig.cpp.o.d"
+  "/root/repo/src/harmony/server.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/server.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/server.cpp.o.d"
+  "/root/repo/src/harmony/session.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/session.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/session.cpp.o.d"
+  "/root/repo/src/harmony/simplex.cpp" "src/harmony/CMakeFiles/ah_harmony.dir/simplex.cpp.o" "gcc" "src/harmony/CMakeFiles/ah_harmony.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

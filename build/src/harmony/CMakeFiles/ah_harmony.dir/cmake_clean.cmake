@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_harmony.dir/baselines.cpp.o"
+  "CMakeFiles/ah_harmony.dir/baselines.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/client.cpp.o"
+  "CMakeFiles/ah_harmony.dir/client.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/config_io.cpp.o"
+  "CMakeFiles/ah_harmony.dir/config_io.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/library_layer.cpp.o"
+  "CMakeFiles/ah_harmony.dir/library_layer.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/memory.cpp.o"
+  "CMakeFiles/ah_harmony.dir/memory.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/parameter.cpp.o"
+  "CMakeFiles/ah_harmony.dir/parameter.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/reconfig.cpp.o"
+  "CMakeFiles/ah_harmony.dir/reconfig.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/server.cpp.o"
+  "CMakeFiles/ah_harmony.dir/server.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/session.cpp.o"
+  "CMakeFiles/ah_harmony.dir/session.cpp.o.d"
+  "CMakeFiles/ah_harmony.dir/simplex.cpp.o"
+  "CMakeFiles/ah_harmony.dir/simplex.cpp.o.d"
+  "libah_harmony.a"
+  "libah_harmony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_harmony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

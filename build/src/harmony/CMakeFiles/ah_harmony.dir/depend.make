@@ -1,0 +1,2 @@
+# Empty dependencies file for ah_harmony.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ah_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ah_sim.dir/monitor.cpp.o"
+  "CMakeFiles/ah_sim.dir/monitor.cpp.o.d"
+  "CMakeFiles/ah_sim.dir/resource.cpp.o"
+  "CMakeFiles/ah_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/ah_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ah_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ah_sim.dir/slot_pool.cpp.o"
+  "CMakeFiles/ah_sim.dir/slot_pool.cpp.o.d"
+  "libah_sim.a"
+  "libah_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

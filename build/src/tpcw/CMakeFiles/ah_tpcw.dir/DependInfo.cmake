@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcw/constraints.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/constraints.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/constraints.cpp.o.d"
+  "/root/repo/src/tpcw/interactions.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/interactions.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/interactions.cpp.o.d"
+  "/root/repo/src/tpcw/metrics.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/metrics.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/metrics.cpp.o.d"
+  "/root/repo/src/tpcw/mix.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/mix.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/mix.cpp.o.d"
+  "/root/repo/src/tpcw/workload.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/workload.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/workload.cpp.o.d"
+  "/root/repo/src/tpcw/zipf.cpp" "src/tpcw/CMakeFiles/ah_tpcw.dir/zipf.cpp.o" "gcc" "src/tpcw/CMakeFiles/ah_tpcw.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/webstack/CMakeFiles/ah_webstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_tpcw.dir/constraints.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/constraints.cpp.o.d"
+  "CMakeFiles/ah_tpcw.dir/interactions.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/interactions.cpp.o.d"
+  "CMakeFiles/ah_tpcw.dir/metrics.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/metrics.cpp.o.d"
+  "CMakeFiles/ah_tpcw.dir/mix.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/mix.cpp.o.d"
+  "CMakeFiles/ah_tpcw.dir/workload.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/workload.cpp.o.d"
+  "CMakeFiles/ah_tpcw.dir/zipf.cpp.o"
+  "CMakeFiles/ah_tpcw.dir/zipf.cpp.o.d"
+  "libah_tpcw.a"
+  "libah_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

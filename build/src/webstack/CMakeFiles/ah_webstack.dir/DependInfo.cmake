@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webstack/app_server.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/app_server.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/app_server.cpp.o.d"
+  "/root/repo/src/webstack/db_server.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/db_server.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/db_server.cpp.o.d"
+  "/root/repo/src/webstack/lru_cache.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/lru_cache.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/webstack/params.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/params.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/params.cpp.o.d"
+  "/root/repo/src/webstack/proxy_server.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/proxy_server.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/proxy_server.cpp.o.d"
+  "/root/repo/src/webstack/router.cpp" "src/webstack/CMakeFiles/ah_webstack.dir/router.cpp.o" "gcc" "src/webstack/CMakeFiles/ah_webstack.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_webstack.dir/app_server.cpp.o"
+  "CMakeFiles/ah_webstack.dir/app_server.cpp.o.d"
+  "CMakeFiles/ah_webstack.dir/db_server.cpp.o"
+  "CMakeFiles/ah_webstack.dir/db_server.cpp.o.d"
+  "CMakeFiles/ah_webstack.dir/lru_cache.cpp.o"
+  "CMakeFiles/ah_webstack.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/ah_webstack.dir/params.cpp.o"
+  "CMakeFiles/ah_webstack.dir/params.cpp.o.d"
+  "CMakeFiles/ah_webstack.dir/proxy_server.cpp.o"
+  "CMakeFiles/ah_webstack.dir/proxy_server.cpp.o.d"
+  "CMakeFiles/ah_webstack.dir/router.cpp.o"
+  "CMakeFiles/ah_webstack.dir/router.cpp.o.d"
+  "libah_webstack.a"
+  "libah_webstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_webstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/failure_injection_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/failure_injection_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/reconfig_controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/reconfig_controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/system_model_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/system_model_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tuning_driver_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tuning_driver_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

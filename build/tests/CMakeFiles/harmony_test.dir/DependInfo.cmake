@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harmony/baselines_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/baselines_test.cpp.o.d"
+  "/root/repo/tests/harmony/client_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/client_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/client_test.cpp.o.d"
+  "/root/repo/tests/harmony/config_io_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/config_io_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/config_io_test.cpp.o.d"
+  "/root/repo/tests/harmony/library_layer_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/library_layer_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/library_layer_test.cpp.o.d"
+  "/root/repo/tests/harmony/memory_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/memory_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/memory_test.cpp.o.d"
+  "/root/repo/tests/harmony/parameter_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/parameter_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/parameter_test.cpp.o.d"
+  "/root/repo/tests/harmony/reconfig_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/reconfig_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/reconfig_test.cpp.o.d"
+  "/root/repo/tests/harmony/server_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/server_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/server_test.cpp.o.d"
+  "/root/repo/tests/harmony/session_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/session_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/session_test.cpp.o.d"
+  "/root/repo/tests/harmony/simplex_test.cpp" "tests/CMakeFiles/harmony_test.dir/harmony/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/harmony_test.dir/harmony/simplex_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harmony/CMakeFiles/ah_harmony.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcw/CMakeFiles/ah_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/webstack/CMakeFiles/ah_webstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_test.dir/harmony/baselines_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/baselines_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/client_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/client_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/config_io_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/config_io_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/library_layer_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/library_layer_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/memory_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/memory_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/parameter_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/parameter_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/reconfig_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/reconfig_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/server_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/server_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/session_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/session_test.cpp.o.d"
+  "CMakeFiles/harmony_test.dir/harmony/simplex_test.cpp.o"
+  "CMakeFiles/harmony_test.dir/harmony/simplex_test.cpp.o.d"
+  "harmony_test"
+  "harmony_test.pdb"
+  "harmony_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_test.dir/tpcw/constraints_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/constraints_test.cpp.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/interactions_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/interactions_test.cpp.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/metrics_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/metrics_test.cpp.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/mix_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/mix_test.cpp.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/workload_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/workload_test.cpp.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/zipf_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/zipf_test.cpp.o.d"
+  "tpcw_test"
+  "tpcw_test.pdb"
+  "tpcw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

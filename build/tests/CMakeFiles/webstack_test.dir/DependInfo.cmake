@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/webstack/app_server_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/app_server_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/app_server_test.cpp.o.d"
+  "/root/repo/tests/webstack/db_server_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/db_server_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/db_server_test.cpp.o.d"
+  "/root/repo/tests/webstack/lru_cache_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/webstack/params_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/params_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/params_test.cpp.o.d"
+  "/root/repo/tests/webstack/property_sweeps_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/webstack/proxy_server_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/proxy_server_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/proxy_server_test.cpp.o.d"
+  "/root/repo/tests/webstack/router_test.cpp" "tests/CMakeFiles/webstack_test.dir/webstack/router_test.cpp.o" "gcc" "tests/CMakeFiles/webstack_test.dir/webstack/router_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harmony/CMakeFiles/ah_harmony.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcw/CMakeFiles/ah_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/webstack/CMakeFiles/ah_webstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ah_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ah_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

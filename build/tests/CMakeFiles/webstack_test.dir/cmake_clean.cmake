@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webstack_test.dir/webstack/app_server_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/app_server_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/db_server_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/db_server_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/lru_cache_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/lru_cache_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/params_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/params_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/property_sweeps_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/property_sweeps_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/proxy_server_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/proxy_server_test.cpp.o.d"
+  "CMakeFiles/webstack_test.dir/webstack/router_test.cpp.o"
+  "CMakeFiles/webstack_test.dir/webstack/router_test.cpp.o.d"
+  "webstack_test"
+  "webstack_test.pdb"
+  "webstack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

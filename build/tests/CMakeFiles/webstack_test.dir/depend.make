@@ -1,0 +1,2 @@
+# Empty dependencies file for webstack_test.
+# This may be replaced when dependencies are built.
