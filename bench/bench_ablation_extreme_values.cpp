@@ -14,19 +14,26 @@
 
 int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 120;
   bench::banner("Ablation: extreme-value damping (paper future work)",
                 "Section III.A (variance discussion)");
 
-  common::TextTable table({"kernel", "best WIPS", "mean WIPS",
-                           "stddev (2nd half)", "worst iteration"});
-  for (const bool damped : {false, true}) {
+  // The damped and undamped studies are independent: fan out when asked.
+  bench::StudyResult studies[2];
+  bench::fan_out(threads, 2, [&](std::size_t i) {
     bench::StudySpec spec;
     spec.workload = tpcw::WorkloadKind::kBrowsing;
     spec.browsers = bench::browsers_for(tpcw::WorkloadKind::kBrowsing);
     spec.iterations = iterations;
-    spec.session.simplex.damp_extremes = damped;
-    const auto study = bench::run_study(spec);
+    spec.session.simplex.damp_extremes = i == 1;
+    studies[i] = bench::run_study(spec);
+  });
+
+  common::TextTable table({"kernel", "best WIPS", "mean WIPS",
+                           "stddev (2nd half)", "worst iteration"});
+  for (const bool damped : {false, true}) {
+    const auto& study = studies[damped ? 1 : 0];
     double worst = 1e300;
     common::RunningStats all;
     for (const double wips : study.tuning.wips_series) {

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 150;
   bench::banner("Ablation: tuning kernels (simplex vs baselines)",
                 "Section II.B (the Nelder-Mead kernel choice)");
@@ -32,17 +33,26 @@ int main(int argc, char** argv) {
       {"random search", harmony::TuningKernel::kRandomSearch},
   };
 
-  common::TextTable table({"kernel", "validated WIPS", "mean WIPS (2nd half)",
-                           "stddev (2nd half)", "iters to 90% of gain"});
-  double baseline = 0.0;
+  // Independent per-kernel studies: fan out with --threads > 1.
+  std::vector<bench::StudyResult> studies(rows.size());
   for (const auto& row : rows) {
+    std::printf("running %s (%zu iterations)...\n", row.name, iterations);
+  }
+  bench::fan_out(threads, rows.size(), [&](std::size_t i) {
     bench::StudySpec spec;
     spec.workload = tpcw::WorkloadKind::kBrowsing;
     spec.browsers = bench::browsers_for(tpcw::WorkloadKind::kBrowsing);
     spec.iterations = iterations;
-    spec.session.kernel = row.kernel;
-    std::printf("running %s (%zu iterations)...\n", row.name, iterations);
-    const auto study = bench::run_study(spec);
+    spec.session.kernel = rows[i].kernel;
+    studies[i] = bench::run_study(spec);
+  });
+
+  common::TextTable table({"kernel", "validated WIPS", "mean WIPS (2nd half)",
+                           "stddev (2nd half)", "iters to 90% of gain"});
+  double baseline = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& study = studies[i];
     baseline = study.baseline_wips;
     const std::size_t reached = bench::iterations_to_quality(
         study.tuning.wips_series, study.baseline_wips,

@@ -54,7 +54,8 @@ double run_move_style(bool immediate, std::vector<double>* dip_series) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_flag(argc, argv);
   bench::banner("Ablation: Eq. 1 reconfiguration cost model",
                 "Equation 1 + Figure 6 step 4(c) (Section IV)");
 
@@ -81,10 +82,18 @@ int main() {
   // Part 2: live comparison of the two execution styles.
   std::printf("\nlive comparison (4 proxies + 2 apps, ordering mix, one\n"
               "proxy re-purposed to the app tier):\n");
+  // The two execution styles are independent systems: fan out when asked.
   std::vector<double> immediate_series;
   std::vector<double> drain_series;
-  const double immediate = run_move_style(true, &immediate_series);
-  const double drained = run_move_style(false, &drain_series);
+  double immediate = 0.0;
+  double drained = 0.0;
+  bench::fan_out(threads, 2, [&](std::size_t i) {
+    if (i == 0) {
+      immediate = run_move_style(true, &immediate_series);
+    } else {
+      drained = run_move_style(false, &drain_series);
+    }
+  });
   common::TextTable live({"style", "settled WIPS", "iter 1 after move",
                           "iter 2 after move"});
   live.add_row({"immediate", common::TextTable::num(immediate, 1),

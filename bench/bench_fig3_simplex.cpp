@@ -59,8 +59,9 @@ const char* phase_name(SimplexTuner::Phase phase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   bench::banner("Figure 3: simplex method step outcomes",
                 "Figure 3 (Nelder-Mead kernel of the Adaptation Controller)");
 
@@ -96,12 +97,18 @@ int main() {
        }},
   };
 
+  // Each objective is an independent tuner instance: fan out when asked.
+  std::vector<Trace> traces(cases.size());
+  bench::fan_out(threads, cases.size(), [&](std::size_t i) {
+    SimplexTuner tuner(box(-500, 500, 400, cases[i].dims));
+    traces[i] = run(tuner, cases[i].objective, 200 * cases[i].dims);
+  });
+
   common::TextTable table({"objective", "evals", "init", "reflect", "expand",
                            "contract", "shrink", "best cost"});
-  for (const auto& test_case : cases) {
-    SimplexTuner tuner(box(-500, 500, 400, test_case.dims));
-    const auto trace = run(tuner, test_case.objective,
-                           200 * test_case.dims);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& test_case = cases[i];
+    const auto& trace = traces[i];
     auto count = [&](SimplexTuner::Phase phase) {
       const auto it = trace.phase_counts.find(phase);
       return it == trace.phase_counts.end() ? 0 : it->second;

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
   bench::banner("Figure 4: best configurations across workloads",
                 "Figure 4 + embedded improvement table (Section III.A)");
@@ -23,17 +24,24 @@ int main(int argc, char** argv) {
                                       tpcw::WorkloadKind::kShopping,
                                       tpcw::WorkloadKind::kOrdering};
 
+  // The three tuning studies and, afterwards, the nine cross-measurements
+  // are independent: with --threads > 1 each fans out over a pool.  Every
+  // study/measurement keeps its own sequential driver, so the printed
+  // numbers are identical at any thread count.
+
   // Tune per workload.
   harmony::PointI best_configs[3];
   double baselines[3] = {};
   for (int w = 0; w < 3; ++w) {
+    std::printf("tuning %s for %zu iterations...\n",
+                std::string(tpcw::workload_name(kinds[w])).c_str(),
+                iterations);
+  }
+  bench::fan_out(threads, 3, [&](std::size_t w) {
     bench::StudySpec spec;
     spec.workload = kinds[w];
     spec.browsers = bench::browsers_for(kinds[w]);
     spec.iterations = iterations;
-    std::printf("tuning %s for %zu iterations...\n",
-                std::string(tpcw::workload_name(kinds[w])).c_str(),
-                iterations);
     const auto study = bench::run_study(spec);
     best_configs[w] = study.tuning.best_configuration;
     baselines[w] = study.baseline_wips;
@@ -41,18 +49,18 @@ int main(int argc, char** argv) {
         std::string("fig4_tuning_") +
             std::string(tpcw::workload_name(kinds[w])),
         study.tuning.wips_series);
-  }
+  });
 
   // Cross-apply: measured[config][workload].
   double measured[3][3];
-  for (int c = 0; c < 3; ++c) {
-    for (int w = 0; w < 3; ++w) {
-      bench::StudySpec spec;
-      spec.workload = kinds[w];
-      spec.browsers = bench::browsers_for(kinds[w]);
-      measured[c][w] = bench::measure_configuration(spec, best_configs[c]);
-    }
-  }
+  bench::fan_out(threads, 9, [&](std::size_t cell) {
+    const std::size_t c = cell / 3;
+    const std::size_t w = cell % 3;
+    bench::StudySpec spec;
+    spec.workload = kinds[w];
+    spec.browsers = bench::browsers_for(kinds[w]);
+    measured[c][w] = bench::measure_configuration(spec, best_configs[c]);
+  });
 
   std::printf("\nWIPS by (configuration tuned for) x (workload run):\n");
   common::TextTable matrix({"configuration \\ workload", "Browsing",

@@ -96,29 +96,38 @@ std::vector<PhaseRow> run_variant(bool with_memory, std::size_t phase_len,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = ah::bench::threads_flag(argc, argv);
   const std::size_t phase_len = argc > 1 ? std::stoul(argv[1]) : 100;
   const std::size_t phases = argc > 2 ? std::stoul(argv[2]) : 4;
   bench::banner("Figure 5: responsiveness to changing workloads",
                 "Figure 5 (Section III.A) + warm-start extension");
 
+  // The plain and warm-start variants are independent end-to-end runs:
+  // compute both (fanned out with --threads > 1), then print in order.
+  std::vector<double> series[2];
+  std::vector<PhaseRow> rows[2];
+  ah::bench::fan_out(threads, 2, [&](std::size_t v) {
+    rows[v] = run_variant(/*with_memory=*/v == 1, phase_len, phases,
+                          &series[v]);
+  });
+
   for (const bool with_memory : {false, true}) {
     std::printf("%s:\n", with_memory
                              ? "with configuration memory (warm-start)"
                              : "continuous tuning (paper Figure 5)");
-    std::vector<double> series;
-    const auto rows = run_variant(with_memory, phase_len, phases, &series);
+    const auto& variant_rows = rows[with_memory ? 1 : 0];
     common::TextTable table({"phase", "workload", "first 5 iters (WIPS)",
                              "rest of phase (WIPS)", "phase best"});
-    for (std::size_t p = 0; p < rows.size(); ++p) {
-      table.add_row({std::to_string(p), rows[p].workload,
-                     common::TextTable::num(rows[p].head, 1),
-                     common::TextTable::num(rows[p].tail, 1),
-                     common::TextTable::num(rows[p].best, 1)});
+    for (std::size_t p = 0; p < variant_rows.size(); ++p) {
+      table.add_row({std::to_string(p), variant_rows[p].workload,
+                     common::TextTable::num(variant_rows[p].head, 1),
+                     common::TextTable::num(variant_rows[p].tail, 1),
+                     common::TextTable::num(variant_rows[p].best, 1)});
     }
     table.render(std::cout);
     bench::write_series_csv(with_memory ? "fig5_series_memory"
                                         : "fig5_series",
-                            series);
+                            series[with_memory ? 1 : 0]);
     std::printf("\n");
   }
   std::printf(

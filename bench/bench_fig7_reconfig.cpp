@@ -103,21 +103,28 @@ CaseResult run_case(int proxies, int apps, tpcw::WorkloadKind initial,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = ah::bench::threads_flag(argc, argv);
   const std::size_t check_at = argc > 1 ? std::stoul(argv[1]) : 25;
   const std::size_t total = argc > 2 ? std::stoul(argv[2]) : 45;
   bench::banner("Figure 7: automatic cluster reconfiguration",
                 "Figure 7(a) and 7(b) (Section IV)");
 
   std::printf("case (a): 4 proxies + 2 app servers, browsing -> ordering\n");
-  const auto a = run_case(4, 2, tpcw::WorkloadKind::kBrowsing,
+  std::printf("case (b): 2 proxies + 4 app servers, browsing throughout\n");
+  // The two cases are independent systems: fan out with --threads > 1.
+  CaseResult results[2];
+  ah::bench::fan_out(threads, 2, [&](std::size_t c) {
+    results[c] =
+        c == 0 ? run_case(4, 2, tpcw::WorkloadKind::kBrowsing,
                           tpcw::WorkloadKind::kOrdering,
                           /*switch_at=*/check_at - 10, check_at, total,
-                          /*tuned_config=*/true);
-  bench::write_series_csv("fig7a_series", a.series);
-
-  std::printf("case (b): 2 proxies + 4 app servers, browsing throughout\n");
-  const auto b = run_case(2, 4, tpcw::WorkloadKind::kBrowsing, std::nullopt,
+                          /*tuned_config=*/true)
+               : run_case(2, 4, tpcw::WorkloadKind::kBrowsing, std::nullopt,
                           0, check_at, total, /*tuned_config=*/false);
+  });
+  const auto& a = results[0];
+  const auto& b = results[1];
+  bench::write_series_csv("fig7a_series", a.series);
   bench::write_series_csv("fig7b_series", b.series);
 
   common::TextTable table({"case", "move", "WIPS before", "WIPS after",

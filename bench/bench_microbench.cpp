@@ -4,9 +4,18 @@
 // many tuning iterations per wall-clock second the harness sustains.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "cluster/node.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel_evaluator.hpp"
 #include "core/system_model.hpp"
 #include "harmony/simplex.hpp"
 #include "sim/event_queue.hpp"
@@ -14,6 +23,7 @@
 #include "tpcw/mix.hpp"
 #include "tpcw/zipf.hpp"
 #include "webstack/lru_cache.hpp"
+#include "webstack/params.hpp"
 
 namespace {
 
@@ -34,6 +44,32 @@ void BM_EventQueuePushPop(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+// The pattern resource timeouts produce: most scheduled events are
+// cancelled before they fire.  This is the case the generation-stamped
+// lazy-cancel design targets (O(1) cancel, no hash-set bookkeeping).
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  std::vector<sim::EventId> ids;
+  ids.reserve(n);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    ids.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(queue.push(
+          common::SimTime::micros(rng.uniform_int(0, 1'000'000)), [] {}));
+    }
+    // Cancel 7 of every 8 events (timeout armed, request completed first).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 8 != 0) benchmark::DoNotOptimize(queue.cancel(ids[i]));
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   for (auto _ : state) {
@@ -129,6 +165,119 @@ void BM_FullTuningIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTuningIteration)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Parallel candidate evaluation: iterations/sec vs pool size.
+// ---------------------------------------------------------------------------
+
+struct ScalingSample {
+  double iterations_per_sec = 0.0;
+};
+std::map<std::size_t, ScalingSample> g_scaling;  // threads -> rate
+
+constexpr std::size_t kScalingReplicas = 8;
+constexpr std::size_t kScalingBatch = 24;  // duplication simplex: 23 + 1
+
+// A batch of in-bounds perturbations of the default 23-value configuration
+// (the shape of the simplex exploration phase).
+std::vector<harmony::PointI> scaling_batch() {
+  const auto& catalogue = webstack::parameter_catalogue();
+  const harmony::PointI defaults = webstack::default_values();
+  std::vector<harmony::PointI> batch;
+  for (std::size_t i = 0; i < kScalingBatch; ++i) {
+    harmony::PointI point = defaults;
+    const std::size_t d = i % point.size();
+    const auto& spec = catalogue[d];
+    const std::int64_t step =
+        std::max<std::int64_t>(1, (spec.max_value - spec.min_value) / 8);
+    point[d] = std::clamp(
+        spec.default_value + static_cast<std::int64_t>(i / point.size() + 1) *
+                                 step,
+        spec.min_value, spec.max_value);
+    batch.push_back(std::move(point));
+  }
+  return batch;
+}
+
+void BM_ParallelEvaluatorScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  common::ThreadPool pool(threads);
+  core::ParallelEvaluator::Options options;
+  options.experiment.browsers = 200;
+  options.experiment.workload = tpcw::WorkloadKind::kShopping;
+  options.experiment.iteration.warmup = common::SimTime::seconds(5.0);
+  options.experiment.iteration.measure = common::SimTime::seconds(20.0);
+  options.replicas = kScalingReplicas;
+  core::ParallelEvaluator evaluator(pool, options);
+  const auto batch = scaling_batch();
+  const auto apply = [](core::SystemModel& system,
+                        const harmony::PointI& values) {
+    system.apply_values_all(values);
+  };
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto results = evaluator.evaluate(batch, apply);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    evaluations += results.size();
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  if (seconds > 0.0) {
+    g_scaling[threads].iterations_per_sec =
+        static_cast<double>(evaluations) / seconds;
+  }
+}
+BENCHMARK(BM_ParallelEvaluatorScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Dumps the scaling sweep as BENCH_parallel.json so the repo records the
+// threads -> iterations/sec trajectory alongside the reproduction CSVs.
+void write_parallel_json() {
+  if (g_scaling.empty()) return;  // benchmark filtered out
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) return;
+  const double base = g_scaling.count(1) != 0
+                          ? g_scaling.at(1).iterations_per_sec
+                          : 0.0;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"BM_ParallelEvaluatorScaling\",\n");
+  std::fprintf(out, "  \"metric\": \"tuning iterations per second\",\n");
+  std::fprintf(out, "  \"replicas\": %zu,\n", kScalingReplicas);
+  std::fprintf(out, "  \"candidates_per_batch\": %zu,\n", kScalingBatch);
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"note\": \"wall-clock speedup is bounded by "
+               "hardware_concurrency on the recording machine\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  std::size_t written = 0;
+  for (const auto& [threads, sample] : g_scaling) {
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"iterations_per_sec\": %.3f, "
+        "\"speedup_vs_1_thread\": %.3f}%s\n",
+        threads, sample.iterations_per_sec,
+        base > 0.0 ? sample.iterations_per_sec / base : 0.0,
+        ++written < g_scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_parallel.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_parallel_json();
+  return 0;
+}

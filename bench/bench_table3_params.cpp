@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
   bench::banner("Table 3: tuned parameter values per workload",
                 "Table 3 (Section III.A)");
@@ -25,15 +26,18 @@ int main(int argc, char** argv) {
                                       tpcw::WorkloadKind::kOrdering};
   harmony::PointI best[3];
   for (int w = 0; w < 3; ++w) {
+    std::printf("tuning %s (%zu iterations)...\n",
+                std::string(tpcw::workload_name(kinds[w])).c_str(),
+                iterations);
+  }
+  // Independent per-workload studies: fan out with --threads > 1.
+  bench::fan_out(threads, 3, [&](std::size_t w) {
     bench::StudySpec spec;
     spec.workload = kinds[w];
     spec.browsers = bench::browsers_for(kinds[w]);
     spec.iterations = iterations;
-    std::printf("tuning %s (%zu iterations)...\n",
-                std::string(tpcw::workload_name(kinds[w])).c_str(),
-                iterations);
     best[w] = bench::run_study(spec).tuning.best_configuration;
-  }
+  });
 
   common::TextTable table({"Tunable parameter", "Default", "Browsing",
                            "Shopping", "Ordering"});

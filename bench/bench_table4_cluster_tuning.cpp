@@ -22,6 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace ah;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
   bench::banner("Table 4: cluster tuning methods",
                 "Table 4 (Section III.B)");
@@ -49,27 +50,44 @@ int main(int argc, char** argv) {
       {core::TuningMethod::kPartitioning, partitioned()},
   };
 
-  double none_wips = 0.0;
-  common::TextTable table({"Tuning method", "WIPS", "Std dev",
-                           "Improvement", "Iterations"});
-  for (const auto& row : rows) {
+  // Each row is a self-contained study, so with --threads > 1 whole cells
+  // fan out over a pool.  Cell drivers stay sequential either way, so the
+  // printed numbers and CSVs are identical at any thread count.
+  struct Cell {
+    bench::StudyResult study;
+    double best_wips = 0.0;
+  };
+  std::vector<Cell> cells(rows.size());
+  const auto run_cell = [&](std::size_t i) {
+    const auto& row = rows[i];
     bench::StudySpec spec;
     spec.topology = row.topology;
     spec.method = row.method;
     spec.iterations = iterations;
     spec.browsers = 2 * bench::browsers_for(tpcw::WorkloadKind::kShopping);
     spec.workload = tpcw::WorkloadKind::kShopping;
+    cells[i].study = bench::run_study(spec);
+    // Best-configuration WIPS re-measured on a fresh system.
+    cells[i].best_wips =
+        row.method == core::TuningMethod::kNone
+            ? cells[i].study.baseline_wips
+            : bench::measure_configuration(
+                  spec, cells[i].study.tuning.best_configuration);
+  };
+  for (const auto& row : rows) {
     std::printf("running '%s' (%zu iterations)...\n",
                 std::string(core::tuning_method_name(row.method)).c_str(),
                 iterations);
-    const auto study = bench::run_study(spec);
+  }
+  bench::fan_out(threads, rows.size(), run_cell);
 
-    // Best-configuration WIPS re-measured on a fresh system.
-    const double best_wips =
-        row.method == core::TuningMethod::kNone
-            ? study.baseline_wips
-            : bench::measure_configuration(spec,
-                                           study.tuning.best_configuration);
+  double none_wips = 0.0;
+  common::TextTable table({"Tuning method", "WIPS", "Std dev",
+                           "Improvement", "Iterations"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& study = cells[i].study;
+    const double best_wips = cells[i].best_wips;
     if (row.method == core::TuningMethod::kNone) none_wips = best_wips;
 
     // Stddev over the second half of the tuning run (paper: second 100).

@@ -1,10 +1,14 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/csv.hpp"
 #include "common/fmt.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "webstack/params.hpp"
 
 namespace ah::bench {
@@ -28,6 +32,59 @@ int browsers_for(tpcw::WorkloadKind workload) {
     case tpcw::WorkloadKind::kOrdering: return 530;
   }
   return kBrowsersPerLine;
+}
+
+namespace {
+
+std::size_t parse_threads(const char* text) {
+  std::size_t parsed = 0;
+  std::size_t consumed = 0;
+  try {
+    parsed = std::stoul(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || text[consumed] != '\0') {
+    std::fprintf(stderr,
+                 "error: --threads requires a non-negative integer, got "
+                 "'%s'\n",
+                 text);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::size_t threads_flag(int& argc, char** argv) {
+  std::size_t threads = 1;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        std::exit(2);
+      }
+      threads = parse_threads(argv[++i]);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = parse_threads(arg + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return threads;
+}
+
+void fan_out(std::size_t threads, std::size_t n,
+             const std::function<void(std::size_t)>& fn) {
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  common::ThreadPool pool(threads);
+  pool.parallel_for(n, fn);
 }
 
 StudyResult run_study(const StudySpec& spec) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,21 @@ inline constexpr int kBrowsersPerLine = 530;
 /// at the saturation depth the paper reports (browsing and ordering bind
 /// hard, shopping sits at the knee of the proxy disk path).
 [[nodiscard]] int browsers_for(tpcw::WorkloadKind workload);
+
+/// Extracts a `--threads N` / `--threads=N` flag from argv (removing it so
+/// positional arguments keep their usual indices) and returns N.  Default 1
+/// (sequential, paper-exact ordering); 0 = hardware concurrency.  Bench
+/// drivers use it to fan independent table cells out over a thread pool —
+/// each cell's own driver stays sequential, so printed numbers and CSVs are
+/// identical at any thread count.
+std::size_t threads_flag(int& argc, char** argv);
+
+/// Runs fn(0) .. fn(n-1): in order on the calling thread when threads == 1,
+/// otherwise fanned out over a pool of `threads` workers (0 = hardware
+/// concurrency).  Callers pass independent cells only, so results are the
+/// same either way; exceptions propagate (first index wins).
+void fan_out(std::size_t threads, std::size_t n,
+             const std::function<void(std::size_t)>& fn);
 
 /// One self-contained tuning study.
 struct StudySpec {

@@ -2,7 +2,7 @@
 //
 // The Active Harmony simplex initialisation evaluates n+1 independent
 // configurations, and the parameter-partitioning strategy runs independent
-// work-line simulations; both map onto `parallel_for_each`.  The pool is
+// work-line simulations; both map onto `parallel_for`.  The pool is
 // deliberately simple (single mutex-protected deque): tasks here are whole
 // simulations lasting milliseconds to seconds, so queue contention is
 // irrelevant and simplicity wins.
@@ -16,6 +16,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/inline_function.hpp"
 
 namespace ah::common {
 
@@ -34,26 +36,31 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto packaged =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
-    std::future<R> result = packaged->get_future();
+    // The queue holds move-only callables, so the packaged_task is stored
+    // directly — no shared_ptr indirection.
+    std::packaged_task<R()> packaged(std::forward<F>(task));
+    std::future<R> result = packaged.get_future();
     {
       const std::scoped_lock lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
+      queue_.emplace_back(std::move(packaged));
     }
     cv_.notify_one();
     return result;
   }
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
-  /// complete.  Exceptions from tasks propagate (first one wins).
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until ALL
+  /// tasks finished, even when some throw (so `fn` and its captures never
+  /// outlive running tasks).  The first exception in index order is
+  /// rethrown; any others are discarded.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  using Task = InlineFunction<void(), 48>;
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

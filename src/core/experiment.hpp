@@ -72,6 +72,8 @@ class Experiment {
   void set_wirt_tracker(tpcw::WirtTracker* tracker);
 
   [[nodiscard]] std::size_t iterations_run() const { return iterations_; }
+  /// The configuration this experiment was built from (replica cloning).
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] SystemModel& system() { return system_; }
   [[nodiscard]] const tpcw::WipsMeter& meter(std::size_t line) const;
 

@@ -35,7 +35,7 @@ double move_cost_seconds(TierKind tier) {
 }  // namespace
 
 SystemModel::SystemModel(sim::Simulator& sim, const Config& config)
-    : sim_(sim) {
+    : sim_(sim), config_(config) {
   if (config.lines.empty()) {
     throw std::invalid_argument("SystemModel: no work lines");
   }

@@ -65,6 +65,9 @@ class SystemModel {
   SystemModel& operator=(const SystemModel&) = delete;
 
   [[nodiscard]] std::size_t line_count() const { return lines_.size(); }
+  /// The configuration this model was built from — lets replica engines
+  /// (core::ParallelEvaluator) construct identical independent systems.
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] webstack::FrontendRouter& frontend(std::size_t line);
   [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -146,6 +149,7 @@ class SystemModel {
                    common::SimTime config_cost);
 
   sim::Simulator& sim_;
+  Config config_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<cluster::Network> network_;
   std::unique_ptr<sim::UtilizationMonitor> monitor_;

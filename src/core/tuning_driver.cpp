@@ -5,7 +5,10 @@
 #include <stdexcept>
 
 #include "common/fmt.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/parallel_evaluator.hpp"
 
 namespace ah::core {
 
@@ -17,6 +20,55 @@ std::string_view tuning_method_name(TuningMethod method) {
     case TuningMethod::kPartitioning: return "Parameter partitioning";
   }
   return "?";
+}
+
+void apply_method_values(SystemModel& system, TuningMethod method,
+                         std::span<const std::int64_t> values) {
+  const std::size_t catalogue_size = webstack::parameter_catalogue().size();
+  switch (method) {
+    case TuningMethod::kNone:
+    case TuningMethod::kDuplication: {
+      if (values.size() != catalogue_size) {
+        throw std::invalid_argument("apply_method_values: expected 23 values");
+      }
+      system.apply_values_all(values);
+      return;
+    }
+    case TuningMethod::kDefault: {
+      // Per-node tier slices, nodes in creation order — the same order
+      // build_sessions registered them, and identical on every replica
+      // built from the same topology.
+      std::size_t offset = 0;
+      for (const cluster::NodeId node : system.all_nodes()) {
+        const auto tier = system.cluster().tier_of(node);
+        const auto indices = webstack::catalogue_indices_for(tier);
+        harmony::PointI full = webstack::default_values();
+        if (offset + indices.size() > values.size()) {
+          throw std::invalid_argument("apply_method_values: layout mismatch");
+        }
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          full[indices[i]] = values[offset + i];
+        }
+        system.apply_values_to_node(node, full);
+        offset += indices.size();
+      }
+      if (offset != values.size()) {
+        throw std::invalid_argument("apply_method_values: layout mismatch");
+      }
+      return;
+    }
+    case TuningMethod::kPartitioning: {
+      if (values.size() != catalogue_size * system.line_count()) {
+        throw std::invalid_argument("apply_method_values: layout mismatch");
+      }
+      for (std::size_t line = 0; line < system.line_count(); ++line) {
+        system.apply_values_line(line,
+                                 values.subspan(line * catalogue_size,
+                                                catalogue_size));
+      }
+      return;
+    }
+  }
 }
 
 double TuningResult::mean_wips(std::size_t from, std::size_t to) const {
@@ -76,7 +128,6 @@ void TuningDriver::build_sessions(const harmony::PointI* seed) {
               id, to_tunable(catalogue[ci],
                              common::format("node{}.", node), next_seed()));
         }
-        node_order_.push_back(node);
       }
       server_.start(id);
       sessions_.push_back(id);
@@ -110,7 +161,6 @@ void TuningDriver::restart_sessions(const harmony::PointI& seed) {
   if (options_.method == TuningMethod::kNone) return;
   server_ = harmony::HarmonyServer{};
   sessions_.clear();
-  node_order_.clear();
   build_sessions(&seed);  // clamps each value into its parameter's bounds
   // Put the system into the (clamped) remembered state immediately; the
   // rebuilt sessions propose it as their first evaluation.
@@ -121,24 +171,10 @@ void TuningDriver::apply_pending() {
   switch (options_.method) {
     case TuningMethod::kNone:
       return;
-    case TuningMethod::kDefault: {
-      const harmony::PointI values = server_.get_configuration(sessions_[0]);
-      std::size_t offset = 0;
-      for (const cluster::NodeId node : node_order_) {
-        const auto tier = system_.cluster().tier_of(node);
-        const auto indices = webstack::catalogue_indices_for(tier);
-        harmony::PointI full = webstack::default_values();
-        for (std::size_t i = 0; i < indices.size(); ++i) {
-          full[indices[i]] = values.at(offset + i);
-        }
-        system_.apply_values_to_node(node, full);
-        offset += indices.size();
-      }
-      assert(offset == values.size());
-      return;
-    }
+    case TuningMethod::kDefault:
     case TuningMethod::kDuplication:
-      system_.apply_values_all(server_.get_configuration(sessions_[0]));
+      apply_method_values(system_, options_.method,
+                          server_.get_configuration(sessions_[0]));
       return;
     case TuningMethod::kPartitioning:
       for (std::size_t line = 0; line < sessions_.size(); ++line) {
@@ -175,25 +211,111 @@ harmony::PointI TuningDriver::concatenated_best() const {
   return best;
 }
 
-TuningResult TuningDriver::run(std::size_t iterations,
-                               std::size_t validation_iterations) {
-  TuningResult result;
-  result.wips_series.reserve(iterations);
+std::size_t TuningDriver::replica_count_for(std::size_t dimensions) const {
+  if (options_.replicas != 0) return options_.replicas;
+  // Enough replicas for a full initial simplex (n+1 points), bounded so a
+  // 46-dimension default-method session does not build 47 systems.  NEVER
+  // derived from `threads`: the replica count decides which timeline
+  // measures which candidate, and that must not drift with the machine.
+  return std::min<std::size_t>(dimensions + 1, 16);
+}
+
+void TuningDriver::explore_sequential(TuningResult& result,
+                                      std::size_t iterations) {
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     apply_pending();
     const IterationResult measured = experiment_.run_iteration();
     result.wips_series.push_back(measured.wips);
     report(measured);
   }
+}
 
-  if (options_.method == TuningMethod::kNone) {
-    result.best_configuration = webstack::default_values();
-    result.best_wips = result.mean_wips(0, iterations);
-    result.validated_wips = result.best_wips;
-    result.converged_at = 0;
-    return result;
+void TuningDriver::explore_parallel(TuningResult& result,
+                                    std::size_t iterations) {
+  common::ThreadPool pool(options_.threads);  // 0 => hardware concurrency
+  const std::size_t catalogue_size = webstack::parameter_catalogue().size();
+
+  if (options_.method == TuningMethod::kPartitioning) {
+    // Work lines are independent by construction, so each line tunes on
+    // its own single-line replica set fed by line-local WIPS.  Lines run
+    // until each has `iterations` evaluations; the recorded whole-system
+    // series is the per-evaluation-index sum across lines.
+    const SystemModel::Config& topology = system_.config();
+    const Experiment::Config& experiment = experiment_.config();
+    const std::size_t lines = system_.line_count();
+    const int browsers_per_line =
+        std::max(1, experiment.browsers / static_cast<int>(lines));
+    std::vector<std::vector<double>> line_series(lines);
+    for (std::size_t line = 0; line < lines; ++line) {
+      ParallelEvaluator::Options options;
+      options.topology = topology;
+      options.topology.lines = {topology.lines[line]};
+      options.topology.seed = common::mix_seed(topology.seed, line);
+      options.experiment = experiment;
+      options.experiment.browsers = browsers_per_line;
+      options.experiment.seed = common::mix_seed(experiment.seed, line);
+      options.replicas = replica_count_for(catalogue_size);
+      ParallelEvaluator evaluator(pool, options);
+      std::vector<double>& series = line_series[line];
+      while (series.size() < iterations) {
+        const auto pending = server_.get_pending(sessions_[line]);
+        const auto evaluated = evaluator.evaluate(
+            pending, [](SystemModel& system, const harmony::PointI& values) {
+              system.apply_values_all(values);
+            });
+        std::vector<double> performances;
+        performances.reserve(evaluated.size());
+        for (const auto& measured : evaluated) {
+          performances.push_back(measured.wips);
+          series.push_back(measured.wips);
+        }
+        server_.report_performance_batch(sessions_[line], performances);
+      }
+      series.resize(iterations);
+    }
+    result.wips_series.assign(iterations, 0.0);
+    for (const auto& series : line_series) {
+      for (std::size_t i = 0; i < iterations; ++i) {
+        result.wips_series[i] += series[i];
+      }
+    }
+    return;
   }
 
+  // kDefault / kDuplication: one session; its pending batch (the whole
+  // initial simplex, shrink replacements, or a single probe point) fans
+  // out across the replica set.
+  const std::size_t dimensions =
+      server_.session(sessions_[0]).space().dimensions();
+  ParallelEvaluator::Options options;
+  options.topology = system_.config();
+  options.experiment = experiment_.config();
+  options.replicas = replica_count_for(dimensions);
+  ParallelEvaluator evaluator(pool, options);
+  const TuningMethod method = options_.method;
+  const ParallelEvaluator::ApplyFn apply =
+      [method](SystemModel& system, const harmony::PointI& values) {
+        apply_method_values(system, method, values);
+      };
+  while (result.wips_series.size() < iterations) {
+    const auto pending = server_.get_pending(sessions_[0]);
+    const auto evaluated = evaluator.evaluate(pending, apply);
+    std::vector<double> performances;
+    performances.reserve(evaluated.size());
+    for (const auto& measured : evaluated) {
+      performances.push_back(measured.wips);
+      result.wips_series.push_back(measured.wips);
+    }
+    server_.report_performance_batch(sessions_[0], performances);
+  }
+  // The tuner consumes whole batches, so the loop can overshoot by up to
+  // batch-1 evaluations; the recorded series is trimmed to the budget
+  // (every evaluation was still reported to the session).
+  result.wips_series.resize(iterations);
+}
+
+void TuningDriver::finalize(TuningResult& result,
+                            std::size_t validation_iterations) {
   std::optional<std::size_t> converged = 0;
   for (const auto id : sessions_) {
     const auto c = server_.converged_at(id);
@@ -225,7 +347,7 @@ TuningResult TuningDriver::run(std::size_t iterations,
     } else {
       result.validated_wips = result.best_wips;
     }
-    return result;
+    return;
   }
 
   // Validation pass: the top distinct candidates from the session history
@@ -268,52 +390,33 @@ TuningResult TuningDriver::run(std::size_t iterations,
   }
   result.best_wips = server_.best_performance(sessions_[0]);
   result.validated_wips = best_validated;
+}
+
+TuningResult TuningDriver::run(std::size_t iterations,
+                               std::size_t validation_iterations) {
+  TuningResult result;
+  result.wips_series.reserve(iterations);
+
+  if (options_.method == TuningMethod::kNone) {
+    explore_sequential(result, iterations);
+    result.best_configuration = webstack::default_values();
+    result.best_wips = result.mean_wips(0, iterations);
+    result.validated_wips = result.best_wips;
+    result.converged_at = 0;
+    return result;
+  }
+
+  if (options_.threads == 1) {
+    explore_sequential(result, iterations);
+  } else {
+    explore_parallel(result, iterations);
+  }
+  finalize(result, validation_iterations);
   return result;
 }
 
 void TuningDriver::apply_configuration(const harmony::PointI& configuration) {
-  const std::size_t catalogue_size = webstack::parameter_catalogue().size();
-  switch (options_.method) {
-    case TuningMethod::kNone:
-    case TuningMethod::kDuplication: {
-      if (configuration.size() != catalogue_size) {
-        throw std::invalid_argument("apply_configuration: expected 23 values");
-      }
-      system_.apply_values_all(configuration);
-      return;
-    }
-    case TuningMethod::kDefault: {
-      std::size_t offset = 0;
-      for (const cluster::NodeId node : node_order_) {
-        const auto tier = system_.cluster().tier_of(node);
-        const auto indices = webstack::catalogue_indices_for(tier);
-        harmony::PointI full = webstack::default_values();
-        for (std::size_t i = 0; i < indices.size(); ++i) {
-          full[indices[i]] = configuration.at(offset + i);
-        }
-        system_.apply_values_to_node(node, full);
-        offset += indices.size();
-      }
-      if (offset != configuration.size()) {
-        throw std::invalid_argument("apply_configuration: layout mismatch");
-      }
-      return;
-    }
-    case TuningMethod::kPartitioning: {
-      if (configuration.size() != catalogue_size * system_.line_count()) {
-        throw std::invalid_argument("apply_configuration: layout mismatch");
-      }
-      for (std::size_t line = 0; line < system_.line_count(); ++line) {
-        const harmony::PointI slice(
-            configuration.begin() +
-                static_cast<std::ptrdiff_t>(line * catalogue_size),
-            configuration.begin() +
-                static_cast<std::ptrdiff_t>((line + 1) * catalogue_size));
-        system_.apply_values_line(line, slice);
-      }
-      return;
-    }
-  }
+  apply_method_values(system_, options_.method, configuration);
 }
 
 }  // namespace ah::core

@@ -17,6 +17,20 @@
 //
 // The driver records the WIPS series, the best configuration, and the
 // convergence iteration for Table 4.
+//
+// Candidate evaluation runs in one of two modes, selected by
+// Options::threads:
+//
+//   threads == 1  legacy sequential (default): every candidate is measured
+//                 back-to-back on the ONE live system — the paper's exact
+//                 protocol, state carry-over included.
+//   threads != 1  parallel: batches from the tuner's batch protocol
+//                 (get_pending / report_performance_batch) are evaluated on
+//                 a core::ParallelEvaluator replica set; `threads` sizes
+//                 the worker pool (0 = hardware concurrency).  Results are
+//                 bit-identical across all thread counts >= 2 because the
+//                 replica count — not the thread count — fixes which
+//                 timeline measures which candidate.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +48,16 @@ namespace ah::core {
 enum class TuningMethod { kNone, kDefault, kDuplication, kPartitioning };
 
 [[nodiscard]] std::string_view tuning_method_name(TuningMethod method);
+
+/// Applies a candidate vector in `method` layout to a system:
+/// kNone/kDuplication take one 23-value catalogue vector for every node,
+/// kDefault takes concatenated per-node tier slices (nodes in
+/// `system.all_nodes()` creation order), kPartitioning takes per-line
+/// 23-value vectors concatenated in line order.  Throws
+/// std::invalid_argument on a layout mismatch.  Thread-safe across
+/// *different* SystemModel instances (used by the replica evaluator).
+void apply_method_values(SystemModel& system, TuningMethod method,
+                         std::span<const std::int64_t> values);
 
 struct TuningResult {
   /// Measured WIPS per iteration (whole system).
@@ -62,6 +86,16 @@ class TuningDriver {
   struct Options {
     TuningMethod method = TuningMethod::kDuplication;
     harmony::SessionOptions session{};
+    /// Evaluation workers: 1 = legacy sequential on the live system (the
+    /// paper's measurement semantics; the default), 0 = one worker per
+    /// hardware thread, N >= 2 = N workers.  Any value != 1 switches to
+    /// replica-set evaluation (see header comment).
+    std::size_t threads = 1;
+    /// Replica timelines for parallel evaluation; 0 = auto
+    /// (min(dimensions + 1, 16), i.e. enough for a full initial simplex).
+    /// Deliberately independent of `threads` so the tuning trajectory
+    /// never depends on how many workers happened to be available.
+    std::size_t replicas = 0;
   };
 
   TuningDriver(SystemModel& system, Experiment& experiment, Options options);
@@ -89,6 +123,7 @@ class TuningDriver {
 
   [[nodiscard]] harmony::HarmonyServer& server() { return server_; }
   [[nodiscard]] TuningMethod method() const { return options_.method; }
+  [[nodiscard]] const Options& options() const { return options_; }
 
  private:
   /// Builds the Harmony sessions for the chosen method.  When `seed` is
@@ -101,13 +136,20 @@ class TuningDriver {
   /// Concatenation of each session's best configuration.
   [[nodiscard]] harmony::PointI concatenated_best() const;
 
+  /// Legacy protocol: one candidate at a time on the live system.
+  void explore_sequential(TuningResult& result, std::size_t iterations);
+  /// Batch protocol on a ParallelEvaluator replica set.
+  void explore_parallel(TuningResult& result, std::size_t iterations);
+  /// Replica count for a session of `dimensions` parameters.
+  [[nodiscard]] std::size_t replica_count_for(std::size_t dimensions) const;
+  /// Convergence bookkeeping + validation pass (shared by both modes).
+  void finalize(TuningResult& result, std::size_t validation_iterations);
+
   SystemModel& system_;
   Experiment& experiment_;
   Options options_;
   harmony::HarmonyServer server_;
   std::vector<harmony::SessionId> sessions_;
-  /// kDefault: nodes in the order their slices appear in the session space.
-  std::vector<cluster::NodeId> node_order_;
 };
 
 }  // namespace ah::core

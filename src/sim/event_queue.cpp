@@ -6,26 +6,42 @@
 namespace ah::sim {
 
 EventId EventQueue::push(common::SimTime time, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(HeapItem{time, id, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+  heap_.push_back(HeapItem{time, next_seq_++, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end());
-  live_.insert(id);
+  ++live_count_;
   return id;
+}
+
+void EventQueue::release(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  // Generation wrap after 2^32 reuses of one slot is accepted: a caller
+  // would need to hold an id across four billion pushes into the same slot
+  // to see a false match.
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
+  --live_count_;
 }
 
 bool EventQueue::cancel(EventId id) {
   // Only events still pending can be cancelled; already-fired or already-
   // cancelled ids are a no-op so callers need not track event lifetimes.
-  if (live_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  if (!is_live(id)) return false;
+  release(id);  // the heap item goes stale and is dropped lazily
   return true;
 }
 
 void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!heap_.empty() && !is_live(heap_.front().id)) {
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();
   }
@@ -43,7 +59,7 @@ EventQueue::Entry EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end());
   HeapItem item = std::move(heap_.back());
   heap_.pop_back();
-  live_.erase(item.id);
+  release(item.id);
   return Entry{item.time, item.id, std::move(item.fn)};
 }
 

@@ -5,19 +5,27 @@
 // scheduling order — this determinism is what makes whole experiments
 // reproducible.  Cancellation is lazy: cancelled ids are skipped at pop time,
 // which keeps the hot path free of heap rebuilds.
+//
+// Event ids are generation-stamped slot handles: the low 32 bits index a
+// slot table, the high 32 bits carry that slot's generation at push time.
+// cancel() is then a single array probe (no hash set), and a recycled slot
+// can never be confused with the event that used it before — the stale id's
+// generation no longer matches.  Closures are stored in a
+// small-buffer-optimised InlineFunction, so scheduling a typical
+// `[this, ...]` capture performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/units.hpp"
 
 namespace ah::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+/// Event closures up to 48 bytes are stored inline (move-only).
+using EventFn = common::InlineFunction<void(), 48>;
 
 class EventQueue {
  public:
@@ -27,7 +35,8 @@ class EventQueue {
     EventFn fn;
   };
 
-  /// Inserts an event; returns its id (usable with `cancel`).
+  /// Inserts an event; returns its id (usable with `cancel`).  Ids are
+  /// never zero, so 0 is safe as a caller-side "no event" sentinel.
   EventId push(common::SimTime time, EventFn fn);
 
   /// Marks an event as cancelled.  Returns false when the id is unknown or
@@ -35,7 +44,7 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
 
   /// Time of the earliest live event.  Precondition: !empty().
   [[nodiscard]] common::SimTime next_time();
@@ -43,28 +52,49 @@ class EventQueue {
   /// Removes and returns the earliest live event.  Precondition: !empty().
   Entry pop();
 
-  [[nodiscard]] std::size_t live_size() const { return live_.size(); }
+  [[nodiscard]] std::size_t live_size() const { return live_count_; }
 
  private:
   struct HeapItem {
     common::SimTime time;
+    std::uint64_t seq;  // monotonic: ties fire in scheduling order
     EventId id;
     EventFn fn;
 
     // std::*_heap builds a max-heap; invert so the earliest pops first.
     bool operator<(const HeapItem& other) const {
       if (time != other.time) return time > other.time;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
+
+  struct Slot {
+    std::uint32_t generation = 1;  // bumped on release; 0 never occurs
+  };
+
+  [[nodiscard]] static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  /// True when `id` refers to a live (pending, non-cancelled) event.
+  [[nodiscard]] bool is_live(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() &&
+           slots_[slot].generation == generation_of(id);
+  }
+  /// Releases an id's slot for reuse; stale heap items stop matching.
+  void release(EventId id);
 
   /// Pops cancelled items off the heap head until a live one surfaces.
   void drop_cancelled_head();
 
   std::vector<HeapItem> heap_;
-  std::unordered_set<EventId> live_;       // pending, not cancelled
-  std::unordered_set<EventId> cancelled_;  // pending in heap_, cancelled
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace ah::sim

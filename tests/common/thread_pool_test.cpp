@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace ah::common {
@@ -57,6 +61,57 @@ TEST(ThreadPoolTest, ParallelForPropagatesException) {
                                    if (i == 3) throw std::logic_error("x");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPoolTest, SubmitAcceptsMoveOnlyTask) {
+  ThreadPool pool(1);
+  auto future =
+      pool.submit([owned = std::make_unique<int>(21)] { return *owned * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForFirstExceptionWinsUnderConcurrentThrows) {
+  // Every task throws from several threads at once; the propagated
+  // exception must deterministically be the lowest-index one, not
+  // whichever thread won the race.
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWaitsForAllTasksWhenOneThrows) {
+  // Regression guard for the lifetime edge case: an early throw must not
+  // return control (and destroy `fn`'s captures) while other tasks are
+  // still running.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&completed](std::size_t i) {
+                          if (i == 0) throw std::logic_error("early");
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(5));
+                          ++completed;
+                        }),
+      std::logic_error);
+  // All non-throwing tasks finished before parallel_for returned.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForOversubscribed) {
+  // Many more tasks than workers: everything still runs exactly once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(256, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

@@ -103,6 +103,60 @@ TEST(EventQueueTest, LiveSizeTracksCancellations) {
   EXPECT_EQ(q.live_size(), 0u);
 }
 
+TEST(EventQueueTest, IdsAreNeverZero) {
+  // 0 is the caller-side "no event" sentinel (see UtilizationMonitor).
+  EventQueue q;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(q.push(SimTime::millis(i), [] {}), 0u);
+  }
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId old_id = q.push(SimTime::millis(1), [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  // The slot is recycled, but the generation stamp differs.
+  bool fired = false;
+  const EventId new_id = q.push(SimTime::millis(2), [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.live_size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, FiredIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId fired_id = q.push(SimTime::millis(1), [] {});
+  q.pop().fn();
+  const EventId live_id = q.push(SimTime::millis(2), [] {});
+  EXPECT_NE(fired_id, live_id);
+  EXPECT_FALSE(q.cancel(fired_id));
+  EXPECT_TRUE(q.cancel(live_id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelHeavyStressKeepsOrderAndCounts) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.push(SimTime::micros((i * 7919) % 1000), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  EXPECT_EQ(q.live_size(), 500u);
+  SimTime last = SimTime::zero();
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const auto entry = q.pop();
+    EXPECT_GE(entry.time, last);
+    last = entry.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500u);
+}
+
 TEST(EventQueueTest, ManyEventsStressOrder) {
   EventQueue q;
   // Insert times in a scrambled deterministic order.
