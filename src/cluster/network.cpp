@@ -5,7 +5,7 @@
 namespace ah::cluster {
 
 void Network::send(Node& from, Node& to, common::Bytes bytes,
-                   std::function<void()> on_delivered) {
+                   sim::EventFn on_delivered) {
   ++messages_;
   bytes_ += bytes;
   if (from.id() == to.id()) {
@@ -14,12 +14,21 @@ void Network::send(Node& from, Node& to, common::Bytes bytes,
     sim_.schedule(common::SimTime::zero(), std::move(on_delivered));
     return;
   }
-  const common::SimTime latency = from.hardware().nic_latency;
-  from.nic().submit(
-      from.nic_time(bytes),
-      [this, latency, cb = std::move(on_delivered)]() mutable {
-        sim_.schedule(latency, std::move(cb));
-      });
+  Msg* msg = msgs_.acquire();
+  msg->net = this;
+  msg->latency = from.hardware().nic_latency;
+  msg->on_delivered = std::move(on_delivered);
+  auto done = [msg] { msg->net->nic_done(msg); };
+  static_assert(sim::Resource::Completion::stores_inline<decltype(done)>(),
+                "NIC completion closure must not allocate");
+  from.nic().submit(from.nic_time(bytes), std::move(done));
+}
+
+void Network::nic_done(Msg* msg) {
+  const common::SimTime latency = msg->latency;
+  sim::EventFn cb = std::move(msg->on_delivered);
+  msgs_.release(msg);
+  sim_.schedule(latency, std::move(cb));
 }
 
 }  // namespace ah::cluster

@@ -8,9 +8,8 @@
 // endpoints were.
 #pragma once
 
-#include <functional>
-
 #include "cluster/node.hpp"
+#include "common/object_pool.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,17 +19,32 @@ class Network {
  public:
   explicit Network(sim::Simulator& sim) : sim_(sim) {}
 
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   /// Sends `bytes` from `from`; invokes `on_delivered` after NIC
   /// serialization plus propagation latency.  Local (same-node) delivery is
   /// free and immediate, matching loopback behaviour.
   void send(Node& from, Node& to, common::Bytes bytes,
-            std::function<void()> on_delivered);
+            sim::EventFn on_delivered);
 
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] common::Bytes bytes_sent() const { return bytes_; }
 
  private:
+  /// In-flight message state, pooled so the NIC-completion closure captures
+  /// a single pointer (the delivery callback itself is a full-width EventFn
+  /// that would not fit the NIC Resource's inline Completion buffer).
+  struct Msg {
+    Network* net = nullptr;
+    common::SimTime latency = common::SimTime::zero();
+    sim::EventFn on_delivered;
+  };
+
+  void nic_done(Msg* msg);
+
   sim::Simulator& sim_;
+  common::ObjectPool<Msg> msgs_;
   std::uint64_t messages_ = 0;
   common::Bytes bytes_ = 0;
 };

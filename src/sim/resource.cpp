@@ -78,19 +78,19 @@ std::size_t Resource::clear_queue() {
 
 void Resource::start_pending() {
   while (busy_ < config_.servers && !queue_.empty()) {
-    Job job = std::move(queue_.front());
-    queue_.pop_front();
-    start_service(std::move(job));
+    start_service(queue_.take_front());
   }
 }
 
 void Resource::start_service(Job job) {
   ++busy_;
   const common::SimTime service = job.demand * config_.slowdown;
-  sim_.schedule(service,
-                [this, on_complete = std::move(job.on_complete)]() mutable {
-                  on_service_done(std::move(on_complete));
-                });
+  auto finish = [this, on_complete = std::move(job.on_complete)]() mutable {
+    on_service_done(std::move(on_complete));
+  };
+  static_assert(EventFn::stores_inline<decltype(finish)>(),
+                "service-completion closure must not allocate");
+  sim_.schedule(service, std::move(finish));
 }
 
 void Resource::on_service_done(Completion on_complete) {

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "common/inline_function.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,8 +20,14 @@ namespace ah::sim {
 
 class Resource {
  public:
-  /// Callback invoked when a job finishes service.
-  using Completion = std::function<void()>;
+  /// Callback invoked when a job finishes service.  Capacity 16: hot-path
+  /// callers park per-request state in a pooled struct and capture a single
+  /// pointer, and start_service wraps the Completion in a
+  /// [this, on_complete] closure that must still fit the simulator's
+  /// 48-byte EventFn inline buffer (sizeof(Completion) = 32 with alignment
+  /// and the two dispatch pointers, + 8 for `this` = 40 <= 48).  Oversized
+  /// captures (tests) fall back to the heap and still work.
+  using Completion = common::InlineFunction<void(), 16>;
 
   struct Config {
     int servers = 1;
@@ -78,7 +84,7 @@ class Resource {
 
  private:
   struct Job {
-    common::SimTime demand;
+    common::SimTime demand = common::SimTime::zero();
     Completion on_complete;
   };
 
@@ -94,7 +100,7 @@ class Resource {
   Config config_;
 
   int busy_ = 0;
-  std::deque<Job> queue_;
+  common::RingBuffer<Job> queue_;
 
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;

@@ -78,11 +78,9 @@ void SlotPool::grant_next() {
   ++in_use_;
   peak_in_use_ = std::max(peak_in_use_, in_use_);
   ++granted_;
-  Granted next = std::move(waiters_.front());
-  waiters_.pop_front();
   // Deferred so a release() deep in a completion chain cannot reenter the
   // next holder's logic on the same stack.
-  sim_.schedule(common::SimTime::zero(), std::move(next));
+  sim_.schedule(common::SimTime::zero(), waiters_.take_front());
 }
 
 }  // namespace ah::sim

@@ -9,10 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,7 +19,11 @@ namespace ah::sim {
 
 class SlotPool {
  public:
-  using Granted = std::function<void()>;
+  /// Grant callback.  Aliased to the simulator's event type so grant_next()
+  /// can move a queued waiter straight into sim_.schedule() without
+  /// re-wrapping it in another closure (which would both allocate and
+  /// overflow the event's inline buffer).
+  using Granted = EventFn;
 
   struct Config {
     int slots = 1;
@@ -78,7 +81,7 @@ class SlotPool {
 
   int in_use_ = 0;
   int peak_in_use_ = 0;
-  std::deque<Granted> waiters_;
+  common::RingBuffer<Granted> waiters_;
 
   std::uint64_t granted_ = 0;
   std::uint64_t rejected_ = 0;

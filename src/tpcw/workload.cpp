@@ -97,27 +97,30 @@ void Workload::dispatch(std::size_t browser_index,
   const bool browse =
       is_browse(static_cast<Interaction>(request.object_id >> 48));
   const common::SimTime issued_at = request.issued_at;
-  frontend_.route(
-      request, [this, browser_index, request, retries_left, browse,
-                issued_at](const webstack::Response& response) {
-        meter_.record(response.ok, browse, sim_.now(),
-                      sim_.now() - issued_at);
-        if (response.ok && wirt_ != nullptr) {
-          wirt_->record(static_cast<Interaction>(request.object_id >> 48),
-                        sim_.now() - issued_at);
-        }
-        if (!response.ok && retries_left > 0 && running_) {
-          // Re-request the same page after a back-off, like a user
-          // reloading an error page.  The retry keeps the original
-          // issue timestamp so latency reflects the user's real wait.
-          sim_.schedule(config_.retry_backoff,
-                        [this, browser_index, request, retries_left] {
-                          dispatch(browser_index, request, retries_left - 1);
-                        });
-          return;
-        }
-        browser_think(browser_index);
-      });
+  auto on_response = [this, browser_index, request, retries_left, browse,
+                      issued_at](const webstack::Response& response) {
+    meter_.record(response.ok, browse, sim_.now(), sim_.now() - issued_at);
+    if (response.ok && wirt_ != nullptr) {
+      wirt_->record(static_cast<Interaction>(request.object_id >> 48),
+                    sim_.now() - issued_at);
+    }
+    if (!response.ok && retries_left > 0 && running_) {
+      // Re-request the same page after a back-off, like a user
+      // reloading an error page.  The retry keeps the original
+      // issue timestamp so latency reflects the user's real wait.
+      sim_.schedule(config_.retry_backoff,
+                    [this, browser_index, request, retries_left] {
+                      dispatch(browser_index, request, retries_left - 1);
+                    });
+      return;
+    }
+    browser_think(browser_index);
+  };
+  // The browser continuation is the widest closure crossing the ResponseFn
+  // interface; if it stops fitting, every request starts allocating.
+  static_assert(webstack::ResponseFn::stores_inline<decltype(on_response)>(),
+                "browser continuation must not allocate");
+  frontend_.route(request, std::move(on_response));
 }
 
 void Workload::browser_think(std::size_t browser_index) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace ah::tpcw {
@@ -9,6 +10,9 @@ namespace ah::tpcw {
 ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {
   if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
   if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("ZipfSampler: n exceeds guide-table range");
+  }
   cdf_.resize(n);
   double total = 0.0;
   for (std::uint64_t k = 0; k < n; ++k) {
@@ -17,10 +21,20 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {
   }
   for (double& c : cdf_) c /= total;
   cdf_.back() = 1.0;
+
+  // One guide bucket per rank keeps the expected walk length at one step
+  // even for strongly skewed alphas (head ranks own many buckets; tail
+  // buckets each cover few ranks).
+  guide_.resize(n);
+  const double buckets = static_cast<double>(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double edge = static_cast<double>(i) / buckets;
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), edge);
+    guide_[i] = static_cast<std::uint32_t>(it - cdf_.begin());
+  }
 }
 
-std::uint64_t ZipfSampler::sample(common::Rng& rng) const {
-  const double u = rng.uniform();
+std::uint64_t ZipfSampler::rank_reference(double u) const {
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::uint64_t>(it - cdf_.begin());
 }

@@ -1,8 +1,12 @@
 // Zipf-distributed popularity sampling.
 //
 // Web object popularity is heavy-tailed; TPC-W item access concentrates on
-// best sellers.  A precomputed CDF over N ranks gives O(log N) sampling and
-// exact, platform-independent distributions (important for golden tests).
+// best sellers.  A precomputed CDF over N ranks gives exact,
+// platform-independent distributions (important for golden tests).  Sampling
+// uses a guide table (indexed inverse CDF): bucket i caches the first rank
+// whose CDF can cover draws landing in [i/G, (i+1)/G), so the binary search
+// collapses to an O(1) expected lookup plus a short linear walk — while
+// returning bit-for-bit the same rank std::lower_bound would.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +23,29 @@ class ZipfSampler {
   ZipfSampler(std::uint64_t n, double alpha);
 
   /// Draws a rank in [0, n).
-  [[nodiscard]] std::uint64_t sample(common::Rng& rng) const;
+  [[nodiscard]] std::uint64_t sample(common::Rng& rng) const {
+    return rank(rng.uniform());
+  }
+
+  /// Maps a uniform draw u in [0, 1) to its rank via the guide table.
+  /// Exactly equivalent to rank_reference() for every u (the guide bucket
+  /// only narrows the search range; the walk re-establishes the
+  /// lower_bound condition), just without the binary search.
+  [[nodiscard]] std::uint64_t rank(double u) const {
+    const auto bucket = static_cast<std::size_t>(
+        static_cast<double>(guide_.size()) * u);
+    // FP rounding in the bucket index can land one off in either direction;
+    // the guards below walk to the exact lower_bound answer regardless.
+    std::size_t k = guide_[bucket < guide_.size() ? bucket
+                                                  : guide_.size() - 1];
+    while (k > 0 && cdf_[k - 1] >= u) --k;
+    while (cdf_[k] < u) ++k;
+    return k;
+  }
+
+  /// The O(log n) binary-search implementation the guide table replaced;
+  /// kept as the oracle for equivalence tests.
+  [[nodiscard]] std::uint64_t rank_reference(double u) const;
 
   [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
   [[nodiscard]] double alpha() const { return alpha_; }
@@ -30,6 +56,9 @@ class ZipfSampler {
  private:
   double alpha_;
   std::vector<double> cdf_;
+  /// guide_[i] = lower_bound(cdf_, i / guide_.size()); a draw u in bucket i
+  /// can never map to a smaller rank, so the walk starts there.
+  std::vector<std::uint32_t> guide_;
 };
 
 }  // namespace ah::tpcw

@@ -121,60 +121,62 @@ void AppServer::handle(const Request& request, ResponseFn done) {
     done(Response{false, Response::Origin::kError, 0});
     return;
   }
-  // `done` is captured by copy: when the pool rejects the acquire, the
-  // closure (and its capture) has already been constructed and discarded,
-  // and the original must still be callable on the rejection path.
-  const bool admitted = http_pool_->acquire(
-      [this, request, done]() mutable {
-        const common::SimTime spawn_penalty = charge_thread_growth(
-            *http_pool_, http_spawned_, params_.min_processors,
-            http_thread_memory());
-        // Read the request off the socket, then run the servlet.
-        node_.cpu().submit(
-            spawn_penalty + io_cpu(512),
-            [this, request, done = std::move(done)]() mutable {
-              run_servlet(request, std::move(done));
-            });
-      });
-  if (!admitted) {
+  AppCall* call = calls_.acquire();
+  call->self = this;
+  call->request = request;
+  call->done = std::move(done);
+
+  // The grant closure holds only a non-owning pointer, so when the pool
+  // rejects the acquire the discarded closure leaves `call` (and its
+  // captured `done`) intact for the rejection path below.
+  auto granted = [call] { call->self->on_http_granted(call); };
+  static_assert(sim::SlotPool::Granted::stores_inline<decltype(granted)>(),
+                "pool-grant closure must not allocate");
+  if (!http_pool_->acquire(std::move(granted))) {
     ++stats_.rejected_http;
-    done(Response{false, Response::Origin::kError, 0});
+    fail(call);
   }
 }
 
-void AppServer::run_servlet(const Request& request, ResponseFn done) {
-  // Copy capture: see handle() for the rejection-path rationale.
-  const bool admitted = ajp_pool_->acquire(
-      [this, request, done]() mutable {
-        const common::SimTime spawn_penalty = charge_thread_growth(
-            *ajp_pool_, ajp_spawned_, params_.ajp_min_processors,
-            ajp_thread_memory());
-        node_.cpu().submit(
-            spawn_penalty + request.profile->app_cpu,
-            [this, request, done = std::move(done)]() mutable {
-              issue_queries(request, request.profile->total_queries(),
-                            std::move(done));
-            });
-      });
-  if (!admitted) {
+void AppServer::on_http_granted(AppCall* call) {
+  const common::SimTime spawn_penalty = charge_thread_growth(
+      *http_pool_, http_spawned_, params_.min_processors,
+      http_thread_memory());
+  // Read the request off the socket, then run the servlet.
+  node_.cpu().submit(spawn_penalty + io_cpu(512),
+                     [call] { call->self->run_servlet(call); });
+}
+
+void AppServer::run_servlet(AppCall* call) {
+  // Non-owning grant closure: see handle() for the rejection-path rationale.
+  if (!ajp_pool_->acquire([call] { call->self->on_ajp_granted(call); })) {
     ++stats_.rejected_ajp;
     http_pool_->release();
-    done(Response{false, Response::Origin::kError, 0});
+    fail(call);
   }
 }
 
-void AppServer::issue_queries(const Request& request, int remaining,
-                              ResponseFn done) {
-  if (remaining == 0) {
+void AppServer::on_ajp_granted(AppCall* call) {
+  const common::SimTime spawn_penalty = charge_thread_growth(
+      *ajp_pool_, ajp_spawned_, params_.ajp_min_processors,
+      ajp_thread_memory());
+  call->remaining = call->request.profile->total_queries();
+  node_.cpu().submit(spawn_penalty + call->request.profile->app_cpu,
+                     [call] { call->self->issue_queries(call); });
+}
+
+void AppServer::issue_queries(AppCall* call) {
+  const Request& request = call->request;
+  if (call->remaining == 0) {
     ajp_pool_->release();
-    const auto origin = request.profile->needs_db() ? Response::Origin::kDb
-                                                    : Response::Origin::kApp;
-    respond(request, origin, std::move(done));
+    call->origin = request.profile->needs_db() ? Response::Origin::kDb
+                                               : Response::Origin::kApp;
+    respond(call);
     return;
   }
   // Walk the per-class counts to find the class of the `remaining`-th query
   // (queries of a class are issued together, classes in enum order).
-  int index = request.profile->total_queries() - remaining;
+  int index = request.profile->total_queries() - call->remaining;
   QueryClass cls = QueryClass::kSelectSimple;
   for (int c = 0; c < kQueryClassCount; ++c) {
     if (index < request.profile->queries[c]) {
@@ -188,7 +190,8 @@ void AppServer::issue_queries(const Request& request, int remaining,
   query.cls = cls;
   // TPC-W touches 8 tables; spread queries over them deterministically from
   // the request identity so the DB table-cache sees a realistic working set.
-  query.table_id = (request.object_id + static_cast<std::uint64_t>(remaining)) % 8;
+  query.table_id =
+      (request.object_id + static_cast<std::uint64_t>(call->remaining)) % 8;
   switch (cls) {
     case QueryClass::kSelectSimple: query.result_bytes = 1024; break;
     case QueryClass::kSelectJoin:   query.result_bytes = 6 * 1024; break;
@@ -197,28 +200,44 @@ void AppServer::issue_queries(const Request& request, int remaining,
   }
 
   ++stats_.db_queries;
-  db_query_(query, node_,
-            [this, request, remaining, done = std::move(done)](
-                const DbResult& result) mutable {
-              if (!result.ok) {
-                ajp_pool_->release();
-                http_pool_->release();
-                done(Response{false, Response::Origin::kError, 0});
-                return;
-              }
-              issue_queries(request, remaining - 1, std::move(done));
-            });
+  auto on_result = [call](const DbResult& result) {
+    call->self->on_db_result(call, result);
+  };
+  static_assert(DbResultFn::stores_inline<decltype(on_result)>(),
+                "DB-result continuation must not allocate");
+  db_query_(query, node_, std::move(on_result));
 }
 
-void AppServer::respond(const Request& request, Response::Origin origin,
-                        ResponseFn done) {
+void AppServer::on_db_result(AppCall* call, const DbResult& result) {
+  if (!result.ok) {
+    ajp_pool_->release();
+    http_pool_->release();
+    fail(call);
+    return;
+  }
+  --call->remaining;
+  issue_queries(call);
+}
+
+void AppServer::respond(AppCall* call) {
   // Serialize the generated page back through the connector buffers.
-  node_.cpu().submit(io_cpu(request.response_bytes),
-                     [this, request, origin, done = std::move(done)] {
-                       http_pool_->release();
-                       ++stats_.served;
-                       done(Response{true, origin, request.response_bytes});
-                     });
+  node_.cpu().submit(io_cpu(call->request.response_bytes),
+                     [call] { call->self->finish(call); });
+}
+
+void AppServer::finish(AppCall* call) {
+  http_pool_->release();
+  ++stats_.served;
+  const Response response{true, call->origin, call->request.response_bytes};
+  ResponseFn done = std::move(call->done);
+  calls_.release(call);
+  done(response);
+}
+
+void AppServer::fail(AppCall* call) {
+  ResponseFn done = std::move(call->done);
+  calls_.release(call);
+  done(Response{false, Response::Origin::kError, 0});
 }
 
 }  // namespace ah::webstack

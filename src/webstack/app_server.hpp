@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "cluster/node.hpp"
+#include "common/object_pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
 #include "webstack/params.hpp"
@@ -68,6 +70,17 @@ class AppServer : public Service {
   [[nodiscard]] sim::SlotPool& ajp_pool() { return *ajp_pool_; }
 
  private:
+  /// Per-request state, pooled so every continuation (pool grants, CPU
+  /// completions, DB results) captures only one pointer and stays inside
+  /// the InlineFunction inline buffer.
+  struct AppCall {
+    AppServer* self = nullptr;
+    Request request;
+    ResponseFn done;
+    int remaining = 0;
+    Response::Origin origin = Response::Origin::kApp;
+  };
+
   /// Connector I/O CPU for moving `bytes` through a `buffer_size` buffer.
   [[nodiscard]] common::SimTime io_cpu(common::Bytes bytes) const;
   /// Charges spawn cost and memory when the pool grows past what has been
@@ -78,16 +91,21 @@ class AppServer : public Service {
   [[nodiscard]] common::Bytes http_thread_memory() const;
   [[nodiscard]] common::Bytes ajp_thread_memory() const;
 
-  void run_servlet(const Request& request, ResponseFn done);
-  void issue_queries(const Request& request, int remaining, ResponseFn done);
-  void respond(const Request& request, Response::Origin origin,
-               ResponseFn done);
+  void on_http_granted(AppCall* call);
+  void run_servlet(AppCall* call);
+  void on_ajp_granted(AppCall* call);
+  void issue_queries(AppCall* call);
+  void on_db_result(AppCall* call, const DbResult& result);
+  void respond(AppCall* call);
+  void finish(AppCall* call);
+  void fail(AppCall* call);
   void release_memory_and_reset();
 
   sim::Simulator& sim_;
   cluster::Node& node_;
   DbQueryFn db_query_;
   AppParams params_;
+  common::ObjectPool<AppCall> calls_;
 
   std::unique_ptr<sim::SlotPool> http_pool_;
   std::unique_ptr<sim::SlotPool> ajp_pool_;

@@ -120,29 +120,34 @@ void DbServer::execute(const DbQuery& query, DbResultFn done) {
   }
   ++stats_.queries;
   ++stats_.by_class[static_cast<int>(query.cls)];
-  // Copy capture: when the pool rejects, the original `done` must remain
-  // callable on the rejection path below.
-  const bool admitted =
-      connections_->acquire([this, query, done]() mutable {
-        if (active_) {
-          node_.alloc_memory(per_connection_memory());
-          charged_memory_ += per_connection_memory();
-        }
-        run_query(query, std::move(done));
-      });
-  if (!admitted) {
+  DbCall* call = calls_.acquire();
+  call->self = this;
+  call->query = query;
+  call->done = std::move(done);
+
+  // The grant closure holds only a non-owning pointer, so a rejected
+  // acquire leaves `call` intact for the rejection path below.
+  auto granted = [call] { call->self->on_connection(call); };
+  static_assert(sim::SlotPool::Granted::stores_inline<decltype(granted)>(),
+                "connection-grant closure must not allocate");
+  if (!connections_->acquire(std::move(granted))) {
     // Unreachable with an unbounded connection queue, but keep the contract.
-    done(DbResult{false});
+    DbResultFn cb = std::move(call->done);
+    calls_.release(call);
+    cb(DbResult{false});
   }
 }
 
-void DbServer::run_query(const DbQuery& query, DbResultFn done) {
-  executors_->acquire([this, query, done = std::move(done)]() mutable {
-    execute_body(query, std::move(done));
-  });
+void DbServer::on_connection(DbCall* call) {
+  if (active_) {
+    node_.alloc_memory(per_connection_memory());
+    charged_memory_ += per_connection_memory();
+  }
+  executors_->acquire([call] { call->self->execute_body(call); });
 }
 
-void DbServer::execute_body(const DbQuery& query, DbResultFn done) {
+void DbServer::execute_body(DbCall* call) {
+  const DbQuery& query = call->query;
   // Table-cache behaviour: every active connection pins descriptors for
   // the tables it touches; demand beyond table_cache causes reopen churn
   // (close + open + .frm/.MYI reads) on the query path.
@@ -152,68 +157,68 @@ void DbServer::execute_body(const DbQuery& query, DbResultFn done) {
       0.0, 1.0 - static_cast<double>(params_.table_cache) /
                      std::max(1.0, descriptors_needed));
   common::SimTime cpu = class_cpu(query.cls);
-  bool table_miss = false;
+  call->table_miss = false;
   if (rng_.bernoulli(miss_prob)) {
-    table_miss = true;
+    call->table_miss = true;
     ++stats_.table_cache_misses;
     cpu += common::SimTime::micros(900);
   }
 
-  const bool is_join = query.cls == QueryClass::kSelectJoin;
-  if (is_join && active_) {
+  call->is_join = query.cls == QueryClass::kSelectJoin;
+  if (call->is_join && active_) {
     node_.alloc_memory(params_.join_buffer_size);
     charged_memory_ += params_.join_buffer_size;
   }
 
-  node_.cpu().submit(cpu, [this, query, table_miss, is_join,
-                           done = std::move(done)]() mutable {
-    // Data-path disk I/O.
-    double io_prob = 0.0;
-    common::Bytes io_bytes = 0;
-    switch (query.cls) {
-      case QueryClass::kSelectSimple: io_prob = 0.10; io_bytes = 8 * 1024; break;
-      case QueryClass::kSelectJoin:   io_prob = 0.30; io_bytes = 32 * 1024; break;
-      case QueryClass::kUpdate:       io_prob = 0.65; io_bytes = 8 * 1024; break;
-      case QueryClass::kInsert:       io_prob = 0.0;  io_bytes = 0; break;
-    }
-    if (table_miss) {
-      io_prob = std::min(1.0, io_prob + 0.30);  // .frm/.MYI reopen read
-      io_bytes += 4 * 1024;
-    }
-    if (query.cls == QueryClass::kUpdate) {
-      // Binlog-cache spill: a transaction whose row events exceed
-      // binlog_cache_size falls back to an on-disk temporary file that is
-      // written synchronously on the commit path.  This is the dominant
-      // effect of binlog_cache_size under write-heavy mixes.
-      const auto txn_bytes = static_cast<common::Bytes>(
-          static_cast<double>(kBinlogMedianTxnBytes) *
-          rng_.lognormal(0.0, 0.9));
-      if (txn_bytes > params_.binlog_cache_size) {
-        ++stats_.binlog_spills;
-        io_prob = 1.0;
-        io_bytes += txn_bytes;
-      } else {
-        binlog_fill_ += txn_bytes;
-        if (binlog_fill_ >= params_.binlog_cache_size) {
-          ++stats_.binlog_flushes;
-          // Asynchronous group flush off the commit path.
-          node_.disk().submit(node_.disk_time(binlog_fill_), {});
-          binlog_fill_ = 0;
-        }
-      }
-    } else {
-      charge_write_path(query.cls);
-    }
+  node_.cpu().submit(cpu, [call] { call->self->after_cpu(call); });
+}
 
-    if (io_bytes > 0 && rng_.bernoulli(io_prob)) {
-      node_.disk().submit(node_.disk_time(io_bytes),
-                          [this, query, is_join, done = std::move(done)]() mutable {
-                            finish_query(query, is_join, std::move(done));
-                          });
+void DbServer::after_cpu(DbCall* call) {
+  const DbQuery& query = call->query;
+  // Data-path disk I/O.
+  double io_prob = 0.0;
+  common::Bytes io_bytes = 0;
+  switch (query.cls) {
+    case QueryClass::kSelectSimple: io_prob = 0.10; io_bytes = 8 * 1024; break;
+    case QueryClass::kSelectJoin:   io_prob = 0.30; io_bytes = 32 * 1024; break;
+    case QueryClass::kUpdate:       io_prob = 0.65; io_bytes = 8 * 1024; break;
+    case QueryClass::kInsert:       io_prob = 0.0;  io_bytes = 0; break;
+  }
+  if (call->table_miss) {
+    io_prob = std::min(1.0, io_prob + 0.30);  // .frm/.MYI reopen read
+    io_bytes += 4 * 1024;
+  }
+  if (query.cls == QueryClass::kUpdate) {
+    // Binlog-cache spill: a transaction whose row events exceed
+    // binlog_cache_size falls back to an on-disk temporary file that is
+    // written synchronously on the commit path.  This is the dominant
+    // effect of binlog_cache_size under write-heavy mixes.
+    const auto txn_bytes = static_cast<common::Bytes>(
+        static_cast<double>(kBinlogMedianTxnBytes) *
+        rng_.lognormal(0.0, 0.9));
+    if (txn_bytes > params_.binlog_cache_size) {
+      ++stats_.binlog_spills;
+      io_prob = 1.0;
+      io_bytes += txn_bytes;
     } else {
-      finish_query(query, is_join, std::move(done));
+      binlog_fill_ += txn_bytes;
+      if (binlog_fill_ >= params_.binlog_cache_size) {
+        ++stats_.binlog_flushes;
+        // Asynchronous group flush off the commit path.
+        node_.disk().submit(node_.disk_time(binlog_fill_), {});
+        binlog_fill_ = 0;
+      }
     }
-  });
+  } else {
+    charge_write_path(query.cls);
+  }
+
+  if (io_bytes > 0 && rng_.bernoulli(io_prob)) {
+    node_.disk().submit(node_.disk_time(io_bytes),
+                        [call] { call->self->finish_query(call); });
+  } else {
+    finish_query(call);
+  }
 }
 
 void DbServer::charge_write_path(QueryClass cls) {
@@ -239,23 +244,25 @@ void DbServer::charge_write_path(QueryClass cls) {
   }
 }
 
-void DbServer::finish_query(const DbQuery& query, bool took_join_buffer,
-                            DbResultFn done) {
-  node_.cpu().submit(
-      transfer_cpu(query.result_bytes),
-      [this, took_join_buffer, done = std::move(done)] {
-        if (took_join_buffer && charged_memory_ >= params_.join_buffer_size) {
-          node_.free_memory(params_.join_buffer_size);
-          charged_memory_ -= params_.join_buffer_size;
-        }
-        executors_->release();
-        if (charged_memory_ >= per_connection_memory()) {
-          node_.free_memory(per_connection_memory());
-          charged_memory_ -= per_connection_memory();
-        }
-        connections_->release();
-        done(DbResult{true});
-      });
+void DbServer::finish_query(DbCall* call) {
+  node_.cpu().submit(transfer_cpu(call->query.result_bytes),
+                     [call] { call->self->finish(call); });
+}
+
+void DbServer::finish(DbCall* call) {
+  if (call->is_join && charged_memory_ >= params_.join_buffer_size) {
+    node_.free_memory(params_.join_buffer_size);
+    charged_memory_ -= params_.join_buffer_size;
+  }
+  executors_->release();
+  if (charged_memory_ >= per_connection_memory()) {
+    node_.free_memory(per_connection_memory());
+    charged_memory_ -= per_connection_memory();
+  }
+  connections_->release();
+  DbResultFn done = std::move(call->done);
+  calls_.release(call);
+  done(DbResult{true});
 }
 
 }  // namespace ah::webstack

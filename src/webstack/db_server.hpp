@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "cluster/node.hpp"
+#include "common/object_pool.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
@@ -73,21 +74,33 @@ class DbServer : public DbService {
   [[nodiscard]] sim::SlotPool& executors() { return *executors_; }
 
  private:
+  /// Per-query state, pooled so the continuations threaded through the
+  /// connection/executor pools, CPU and disk capture only one pointer.
+  struct DbCall {
+    DbServer* self = nullptr;
+    DbQuery query;
+    DbResultFn done;
+    bool is_join = false;
+    bool table_miss = false;
+  };
+
   [[nodiscard]] common::Bytes per_connection_memory() const;
   [[nodiscard]] common::Bytes base_memory() const;
   [[nodiscard]] common::SimTime class_cpu(QueryClass cls);
   [[nodiscard]] common::SimTime transfer_cpu(common::Bytes bytes) const;
 
-  void run_query(const DbQuery& query, DbResultFn done);
-  void execute_body(const DbQuery& query, DbResultFn done);
-  void finish_query(const DbQuery& query, bool took_join_buffer,
-                    DbResultFn done);
+  void on_connection(DbCall* call);
+  void execute_body(DbCall* call);
+  void after_cpu(DbCall* call);
+  void finish_query(DbCall* call);
+  void finish(DbCall* call);
   void charge_write_path(QueryClass cls);
 
   sim::Simulator& sim_;
   cluster::Node& node_;
   DbParams params_;
   common::Rng rng_;
+  common::ObjectPool<DbCall> calls_;
 
   std::unique_ptr<sim::SlotPool> connections_;
   std::unique_ptr<sim::SlotPool> executors_;

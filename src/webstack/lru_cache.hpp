@@ -7,11 +7,18 @@
 // With the default 90/95 settings this behaves almost exactly like plain
 // LRU — which is why the paper found these two knobs performance-inert, a
 // property our reproduction preserves by construction.
+//
+// Storage is a contiguous slab of entries threaded by an intrusive doubly
+// linked list (indices, not pointers), with an open-addressing hash index
+// on top.  Compared to the std::list + std::unordered_map it replaced, the
+// steady state allocates nothing (freed slots are recycled through a free
+// list), and lookups touch two small arrays instead of chasing node
+// pointers — the proxy performs several cache operations per request, so
+// this is squarely on the simulation hot path.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -30,8 +37,12 @@ class LruCache {
   common::Bytes lookup(std::uint64_t key,
                        common::SimTime now = common::SimTime::zero());
 
-  /// Peeks without promoting (for tests/metrics).
-  [[nodiscard]] bool contains(std::uint64_t key) const;
+  /// Peeks without promoting and without touching the hit/miss counters
+  /// (for tests/metrics).  An entry expired at or before `now` reports as
+  /// absent — matching what lookup() at the same time would conclude — but
+  /// is left in place (a peek must not mutate).
+  [[nodiscard]] bool contains(
+      std::uint64_t key, common::SimTime now = common::SimTime::zero()) const;
 
   /// Inserts (or refreshes) an object.  Objects larger than the high
   /// watermark in bytes are refused (returns false), matching Squid.
@@ -51,7 +62,7 @@ class LruCache {
 
   [[nodiscard]] common::Bytes capacity() const { return capacity_; }
   [[nodiscard]] common::Bytes used() const { return used_; }
-  [[nodiscard]] std::size_t object_count() const { return index_.size(); }
+  [[nodiscard]] std::size_t object_count() const { return count_; }
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
@@ -60,25 +71,70 @@ class LruCache {
   [[nodiscard]] double hit_ratio() const;
 
  private:
+  /// Slab entry: payload plus intrusive list links (slab indices; -1 ends
+  /// the list).  Links as indices survive slab reallocation on growth.
+  /// `bucket` mirrors the entry's current position in the hash index so
+  /// eviction can erase without re-probing; every bucket move (insert,
+  /// backward shift, rehash) keeps it current.
   struct Entry {
-    std::uint64_t key;
-    common::Bytes size;
+    std::uint64_t key = 0;
+    common::Bytes size = 0;
     common::SimTime expires_at = common::SimTime::max();
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    std::uint32_t bucket = 0;
   };
+
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
 
   [[nodiscard]] common::Bytes high_bytes() const;
   [[nodiscard]] common::Bytes low_bytes() const;
   /// Evicts LRU entries until used_ <= limit.
   void evict_to(common::Bytes limit);
 
+  /// Bucket currently holding `key`, or kNoBucket.
+  [[nodiscard]] std::size_t find_bucket(std::uint64_t key) const;
+  /// Clears bucket `b` and backward-shifts the rest of its probe cluster
+  /// so linear probing stays correct without tombstones.
+  void index_erase(std::size_t b);
+  void rehash(std::size_t buckets);
+
+  /// Unlinks `slot` from the recency list.
+  void list_detach(std::int32_t slot);
+  /// Links `slot` at the MRU end.
+  void list_push_front(std::int32_t slot);
+
+  /// Takes a free slot (recycled or newly grown).
+  [[nodiscard]] std::int32_t slot_acquire();
+  /// Removes `slot` entirely: list, index, byte/count accounting.
+  void remove_slot(std::int32_t slot);
+
+
   common::Bytes capacity_;
   int swap_low_;
   int swap_high_;
   common::Bytes used_ = 0;
 
-  // MRU at front.
-  std::list<Entry> lru_;
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::vector<Entry> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::int32_t head_ = -1;  // MRU
+  std::int32_t tail_ = -1;  // LRU
+  std::size_t count_ = 0;
+
+  /// Open-addressing index bucket.  The key is duplicated here so a probe
+  /// step costs one contiguous load instead of an indirect hop into the
+  /// slab for the compare, and the probe distance from the key's home
+  /// bucket is cached so backward-shift deletion never recomputes hashes.
+  /// 16 bytes total — the dist field lives in what would be padding.
+  struct Bucket {
+    std::uint64_t key = 0;
+    std::int32_t slot = -1;  // -1 = empty
+    std::uint32_t dist = 0;  // (index - home) & bucket_mask_
+  };
+
+  /// Open-addressing index: power-of-two bucket array, linear probing.
+  std::vector<Bucket> buckets_;
+  std::size_t bucket_mask_ = 0;
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

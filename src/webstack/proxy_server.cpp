@@ -95,86 +95,87 @@ void ProxyServer::handle(const Request& request, ResponseFn done) {
     return;
   }
   ++inflight_;
-  ResponseFn counted = [this, done = std::move(done)](const Response& r) {
-    --inflight_;
-    ++stats_.served;
-    done(r);
-  };
+  ProxyCall* call = calls_.acquire();
+  call->self = this;
+  call->request = request;
+  call->done = std::move(done);
 
-  node_.cpu().submit(
-      lookup_cpu(request),
-      [this, request, counted = std::move(counted)]() mutable {
-        if (!request.profile->cacheable) {
-          ++stats_.passthrough;
-          forward_upstream(request, std::move(counted));
-          return;
-        }
-        if (const auto size = mem_cache_.lookup(request.object_id, sim_.now());
-            size >= 0) {
-          ++stats_.mem_hits;
-          serve_from_memory(request, std::move(counted));
-          return;
-        }
-        if (const auto size =
-                disk_cache_.lookup(request.object_id, sim_.now());
-            size >= 0) {
-          ++stats_.disk_hits;
-          // Hot-object promotion: objects served from disk move into the
-          // memory cache (when admitted), so the memory cache converges on
-          // the hot set within a warm-up period even after a restart.
-          if (size <= params_.maximum_object_size_in_memory) {
-            mem_cache_.insert(request.object_id, size, sim_.now() + kObjectTtl);
-          }
-          serve_from_disk(request, size, std::move(counted));
-          return;
-        }
-        ++stats_.misses_forwarded;
-        forward_upstream(request, std::move(counted));
-      });
+  auto after = [call] { call->self->after_lookup(call); };
+  static_assert(sim::Resource::Completion::stores_inline<decltype(after)>(),
+                "proxy lookup closure must not allocate");
+  node_.cpu().submit(lookup_cpu(request), std::move(after));
 }
 
-void ProxyServer::serve_from_memory(const Request& request, ResponseFn done) {
+void ProxyServer::after_lookup(ProxyCall* call) {
+  const Request& request = call->request;
+  if (!request.profile->cacheable) {
+    ++stats_.passthrough;
+    forward_upstream(call);
+    return;
+  }
+  if (const auto size = mem_cache_.lookup(request.object_id, sim_.now());
+      size >= 0) {
+    ++stats_.mem_hits;
+    serve_from_memory(call);
+    return;
+  }
+  if (const auto size = disk_cache_.lookup(request.object_id, sim_.now());
+      size >= 0) {
+    ++stats_.disk_hits;
+    // Hot-object promotion: objects served from disk move into the
+    // memory cache (when admitted), so the memory cache converges on
+    // the hot set within a warm-up period even after a restart.
+    if (size <= params_.maximum_object_size_in_memory) {
+      mem_cache_.insert(request.object_id, size, sim_.now() + kObjectTtl);
+    }
+    serve_from_disk(call, size);
+    return;
+  }
+  ++stats_.misses_forwarded;
+  forward_upstream(call);
+}
+
+void ProxyServer::serve_from_memory(ProxyCall* call) {
   // Copy-out and socket-push cost; the response leaves via the router's
   // NIC hop.  A memory hit is the cheapest path through the proxy.
-  const auto copy_cpu = common::SimTime::micros(
-      500 + request.response_bytes / 64);
-  const Response response{true, Response::Origin::kProxyMemory,
-                          request.response_bytes};
-  node_.cpu().submit(copy_cpu, [this, response, done = std::move(done)] {
-    finish(response, std::move(done));
+  const auto copy_cpu =
+      common::SimTime::micros(500 + call->request.response_bytes / 64);
+  call->response = Response{true, Response::Origin::kProxyMemory,
+                            call->request.response_bytes};
+  node_.cpu().submit(copy_cpu, [call] { call->self->finish(call); });
+}
+
+void ProxyServer::serve_from_disk(ProxyCall* call, common::Bytes size) {
+  call->response = Response{true, Response::Origin::kProxyDisk, size};
+  node_.disk().submit(node_.disk_time(size), [call] {
+    // Swap-in bookkeeping plus pushing the object through the socket.
+    ProxyServer* self = call->self;
+    self->node_.cpu().submit(
+        common::SimTime::micros(1500 + call->response.bytes / 48),
+        [call] { call->self->finish(call); });
   });
 }
 
-void ProxyServer::serve_from_disk(const Request& /*request*/,
-                                  common::Bytes size, ResponseFn done) {
-  const Response response{true, Response::Origin::kProxyDisk, size};
-  node_.disk().submit(
-      node_.disk_time(size), [this, response, done = std::move(done)] {
-        // Swap-in bookkeeping plus pushing the object through the socket.
-        node_.cpu().submit(common::SimTime::micros(1500 + response.bytes / 48),
-                           [this, response, done = std::move(done)] {
-                             finish(response, std::move(done));
-                           });
-      });
+void ProxyServer::forward_upstream(ProxyCall* call) {
+  auto on_upstream = [call](const Response& upstream) {
+    call->self->on_upstream(call, upstream);
+  };
+  static_assert(ResponseFn::stores_inline<decltype(on_upstream)>(),
+                "upstream continuation must not allocate");
+  forward_(call->request, node_, std::move(on_upstream));
 }
 
-void ProxyServer::forward_upstream(const Request& request, ResponseFn done) {
-  forward_(request, node_,
-           [this, request, done = std::move(done)](const Response& upstream) {
-             if (upstream.ok) maybe_cache(request, upstream);
-             // Relay cost: the proxy shuttles the upstream response through
-             // its own socket pair (read from app tier, write to client).
-             // Error responses (connection refused upstream) carry no body
-             // and cost almost nothing to relay.
-             const auto relay_cpu =
-                 upstream.ok ? common::SimTime::micros(3500 +
-                                                       upstream.bytes / 24)
-                             : common::SimTime::micros(200);
-             node_.cpu().submit(relay_cpu,
-                                [this, upstream, done = std::move(done)] {
-                                  finish(upstream, std::move(done));
-                                });
-           });
+void ProxyServer::on_upstream(ProxyCall* call, const Response& upstream) {
+  if (upstream.ok) maybe_cache(call->request, upstream);
+  // Relay cost: the proxy shuttles the upstream response through
+  // its own socket pair (read from app tier, write to client).
+  // Error responses (connection refused upstream) carry no body
+  // and cost almost nothing to relay.
+  const auto relay_cpu =
+      upstream.ok ? common::SimTime::micros(3500 + upstream.bytes / 24)
+                  : common::SimTime::micros(200);
+  call->response = upstream;
+  node_.cpu().submit(relay_cpu, [call] { call->self->finish(call); });
 }
 
 void ProxyServer::maybe_cache(const Request& request,
@@ -193,7 +194,15 @@ void ProxyServer::maybe_cache(const Request& request,
   }
 }
 
-void ProxyServer::finish(const Response& response, ResponseFn done) {
+void ProxyServer::finish(ProxyCall* call) {
+  --inflight_;
+  ++stats_.served;
+  // Release the slot before invoking the continuation: `done` may reenter
+  // this proxy with a fresh request (retry loops), and the slot must be
+  // reusable by then.
+  ResponseFn done = std::move(call->done);
+  const Response response = call->response;
+  calls_.release(call);
   done(response);
 }
 

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "cluster/node.hpp"
+#include "common/object_pool.hpp"
 #include "sim/simulator.hpp"
 #include "webstack/lru_cache.hpp"
 #include "webstack/params.hpp"
@@ -71,22 +73,34 @@ class ProxyServer : public Service {
   [[nodiscard]] int load() const { return inflight_; }
 
  private:
+  /// Per-request state, pooled so every continuation threaded through the
+  /// CPU/disk resources and the upstream forward captures only `call` —
+  /// one pointer, always inside the InlineFunction inline buffer.
+  struct ProxyCall {
+    ProxyServer* self = nullptr;
+    Request request;
+    ResponseFn done;
+    Response response;
+  };
+
   /// CPU demand of the request-parsing + store-index lookup step.
   [[nodiscard]] common::SimTime lookup_cpu(const Request& request) const;
   /// Memory charged for the cache and store index under `params`.
   [[nodiscard]] common::Bytes resident_memory(const ProxyParams& params) const;
 
-  void serve_from_memory(const Request& request, ResponseFn done);
-  void serve_from_disk(const Request& request, common::Bytes size,
-                       ResponseFn done);
-  void forward_upstream(const Request& request, ResponseFn done);
+  void after_lookup(ProxyCall* call);
+  void serve_from_memory(ProxyCall* call);
+  void serve_from_disk(ProxyCall* call, common::Bytes size);
+  void forward_upstream(ProxyCall* call);
+  void on_upstream(ProxyCall* call, const Response& upstream);
   void maybe_cache(const Request& request, const Response& response);
-  void finish(const Response& response, ResponseFn done);
+  void finish(ProxyCall* call);
 
   sim::Simulator& sim_;
   cluster::Node& node_;
   ForwardFn forward_;
   ProxyParams params_;
+  common::ObjectPool<ProxyCall> calls_;
 
   LruCache mem_cache_;
   LruCache disk_cache_;

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "common/inline_function.hpp"
 #include "common/units.hpp"
 
 namespace ah::webstack {
@@ -77,7 +77,15 @@ struct Response {
   common::Bytes bytes = 0;
 };
 
-using ResponseFn = std::function<void(const Response&)>;
+/// Response continuation.  A small-buffer InlineFunction rather than
+/// std::function: the server tiers park their per-request state in pooled
+/// structs and thread single-pointer closures through the event queue, so
+/// the continuation always fits inline and the steady-state request path
+/// performs no heap allocations.  The 80-byte capacity leaves room for the
+/// workload driver's browser closure (Request + bookkeeping, ~72 bytes),
+/// the largest capture that crosses this interface.  Move-only: a response
+/// callback fires exactly once.
+using ResponseFn = common::InlineFunction<void(const Response&), 80>;
 
 /// Anything that can serve a Request asynchronously.
 class Service {
@@ -101,7 +109,8 @@ struct DbResult {
   bool ok = true;
 };
 
-using DbResultFn = std::function<void(const DbResult&)>;
+/// Query-result continuation (see ResponseFn for the callable choice).
+using DbResultFn = common::InlineFunction<void(const DbResult&), 48>;
 
 /// Anything that can execute a DbQuery asynchronously.
 class DbService {

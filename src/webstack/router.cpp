@@ -40,19 +40,34 @@ void AppTierRouter::route(const Request& request, cluster::Node& from,
   const std::size_t pick = balancer_.pick(
       backends_.size(),
       [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
-  AppServer* backend = backends_[pick];
-  cluster::Node* from_ptr = &from;
-  network_.send(
-      from, backend->node(), kForwardRequestBytes,
-      [this, backend, request, from_ptr, done = std::move(done)]() mutable {
-        backend->handle(
-            request, [this, backend, from_ptr,
-                      done = std::move(done)](const Response& response) {
-              network_.send(backend->node(), *from_ptr,
-                            std::max<common::Bytes>(128, response.bytes),
-                            [response, done = std::move(done)] { done(response); });
-            });
-      });
+  Call* call = calls_.acquire();
+  call->self = this;
+  call->backend = backends_[pick];
+  call->from = &from;
+  call->request = request;
+  call->done = std::move(done);
+  network_.send(from, call->backend->node(), kForwardRequestBytes,
+                [call] { call->self->on_forwarded(call); });
+}
+
+void AppTierRouter::on_forwarded(Call* call) {
+  call->backend->handle(call->request, [call](const Response& response) {
+    call->self->on_response(call, response);
+  });
+}
+
+void AppTierRouter::on_response(Call* call, const Response& response) {
+  call->response = response;
+  network_.send(call->backend->node(), *call->from,
+                std::max<common::Bytes>(128, response.bytes),
+                [call] { call->self->deliver(call); });
+}
+
+void AppTierRouter::deliver(Call* call) {
+  ResponseFn done = std::move(call->done);
+  const Response response = call->response;
+  calls_.release(call);
+  done(response);
 }
 
 // -- DbTierRouter ------------------------------------------------------------
@@ -81,18 +96,33 @@ void DbTierRouter::route(const DbQuery& query, cluster::Node& from,
   const std::size_t pick = balancer_.pick(
       backends_.size(),
       [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
-  DbServer* backend = backends_[pick];
-  cluster::Node* from_ptr = &from;
-  network_.send(
-      from, backend->node(), kQueryRequestBytes,
-      [this, backend, query, from_ptr, done = std::move(done)]() mutable {
-        backend->execute(
-            query, [this, backend, query, from_ptr,
-                    done = std::move(done)](const DbResult& result) {
-              network_.send(backend->node(), *from_ptr, query.result_bytes,
-                            [result, done = std::move(done)] { done(result); });
-            });
-      });
+  Call* call = calls_.acquire();
+  call->self = this;
+  call->backend = backends_[pick];
+  call->from = &from;
+  call->query = query;
+  call->done = std::move(done);
+  network_.send(from, call->backend->node(), kQueryRequestBytes,
+                [call] { call->self->on_forwarded(call); });
+}
+
+void DbTierRouter::on_forwarded(Call* call) {
+  call->backend->execute(call->query, [call](const DbResult& result) {
+    call->self->on_result(call, result);
+  });
+}
+
+void DbTierRouter::on_result(Call* call, const DbResult& result) {
+  call->result = result;
+  network_.send(call->backend->node(), *call->from, call->query.result_bytes,
+                [call] { call->self->deliver(call); });
+}
+
+void DbTierRouter::deliver(Call* call) {
+  DbResultFn done = std::move(call->done);
+  const DbResult result = call->result;
+  calls_.release(call);
+  done(result);
 }
 
 // -- FrontendRouter ----------------------------------------------------------
@@ -122,24 +152,37 @@ void FrontendRouter::route(const Request& request, ResponseFn done) {
   const std::size_t pick = balancer_.pick(
       backends_.size(),
       [this](std::size_t i) { return static_cast<double>(backends_[i]->load()); });
-  ProxyServer* backend = backends_[pick];
-  sim_.schedule(client_latency_, [this, backend, request,
-                                  done = std::move(done)]() mutable {
-    backend->handle(
-        request,
-        [this, backend, done = std::move(done)](const Response& response) {
-          // Response serialization on the proxy's NIC, then client latency.
-          cluster::Node& node = backend->node();
-          node.nic().submit(
-              node.nic_time(std::max<common::Bytes>(128, response.bytes)),
-              [this, response, done = std::move(done)]() mutable {
-                sim_.schedule(client_latency_,
-                              [response, done = std::move(done)] {
-                                done(response);
-                              });
-              });
-        });
+  Call* call = calls_.acquire();
+  call->self = this;
+  call->backend = backends_[pick];
+  call->request = request;
+  call->done = std::move(done);
+  sim_.schedule(client_latency_, [call] { call->self->on_client_arrived(call); });
+}
+
+void FrontendRouter::on_client_arrived(Call* call) {
+  call->backend->handle(call->request, [call](const Response& response) {
+    call->self->on_response(call, response);
   });
+}
+
+void FrontendRouter::on_response(Call* call, const Response& response) {
+  // Response serialization on the proxy's NIC, then client latency.
+  call->response = response;
+  cluster::Node& node = call->backend->node();
+  node.nic().submit(node.nic_time(std::max<common::Bytes>(128, response.bytes)),
+                    [call] { call->self->on_nic_done(call); });
+}
+
+void FrontendRouter::on_nic_done(Call* call) {
+  sim_.schedule(client_latency_, [call] { call->self->deliver(call); });
+}
+
+void FrontendRouter::deliver(Call* call) {
+  ResponseFn done = std::move(call->done);
+  const Response response = call->response;
+  calls_.release(call);
+  done(response);
 }
 
 }  // namespace ah::webstack

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/load_balancer.hpp"
+#include "common/object_pool.hpp"
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
 #include "webstack/app_server.hpp"
@@ -45,9 +46,25 @@ class AppTierRouter {
   void route(const Request& request, cluster::Node& from, ResponseFn done);
 
  private:
+  /// Per-hop state, pooled so the network/backend continuations capture
+  /// only one pointer (see ProxyServer::ProxyCall).
+  struct Call {
+    AppTierRouter* self = nullptr;
+    AppServer* backend = nullptr;
+    cluster::Node* from = nullptr;
+    Request request;
+    ResponseFn done;
+    Response response;
+  };
+
+  void on_forwarded(Call* call);
+  void on_response(Call* call, const Response& response);
+  void deliver(Call* call);
+
   cluster::Network& network_;
   cluster::LoadBalancer balancer_;
   std::vector<AppServer*> backends_;
+  common::ObjectPool<Call> calls_;
 };
 
 /// Routes database queries from the application tier to the database tier.
@@ -66,9 +83,23 @@ class DbTierRouter {
   void route(const DbQuery& query, cluster::Node& from, DbResultFn done);
 
  private:
+  struct Call {
+    DbTierRouter* self = nullptr;
+    DbServer* backend = nullptr;
+    cluster::Node* from = nullptr;
+    DbQuery query;
+    DbResultFn done;
+    DbResult result;
+  };
+
+  void on_forwarded(Call* call);
+  void on_result(Call* call, const DbResult& result);
+  void deliver(Call* call);
+
   cluster::Network& network_;
   cluster::LoadBalancer balancer_;
   std::vector<DbServer*> backends_;
+  common::ObjectPool<Call> calls_;
 };
 
 /// Entry point: routes emulated-browser requests to the proxy tier.
@@ -90,10 +121,24 @@ class FrontendRouter {
   void route(const Request& request, ResponseFn done);
 
  private:
+  struct Call {
+    FrontendRouter* self = nullptr;
+    ProxyServer* backend = nullptr;
+    Request request;
+    ResponseFn done;
+    Response response;
+  };
+
+  void on_client_arrived(Call* call);
+  void on_response(Call* call, const Response& response);
+  void on_nic_done(Call* call);
+  void deliver(Call* call);
+
   sim::Simulator& sim_;
   cluster::LoadBalancer balancer_;
   common::SimTime client_latency_;
   std::vector<ProxyServer*> backends_;
+  common::ObjectPool<Call> calls_;
 };
 
 }  // namespace ah::webstack

@@ -26,7 +26,7 @@ class WorkloadTest : public ::testing::Test {
         sim_, node_,
         [this](const webstack::Request& r, cluster::Node&,
                webstack::ResponseFn done) {
-          sim_.schedule(SimTime::millis(10), [r, done = std::move(done)] {
+          sim_.schedule(SimTime::millis(10), [r, done = std::move(done)]() mutable {
             done(webstack::Response{true, webstack::Response::Origin::kApp,
                                     r.response_bytes});
           });
@@ -115,7 +115,7 @@ TEST_F(WorkloadTest, DeterministicAcrossRuns) {
         sim, node,
         [&sim](const webstack::Request& r, cluster::Node&,
                webstack::ResponseFn done) {
-          sim.schedule(SimTime::millis(10), [r, done = std::move(done)] {
+          sim.schedule(SimTime::millis(10), [r, done = std::move(done)]() mutable {
             done(webstack::Response{true, webstack::Response::Origin::kApp,
                                     r.response_bytes});
           });
@@ -161,7 +161,7 @@ TEST_F(WorkloadTest, FailedInteractionsAreRetried) {
                     webstack::ResponseFn done) {
         const bool first_attempt = seen.insert(r.id).second;
         sim.schedule(SimTime::millis(5), [r, first_attempt,
-                                          done = std::move(done)] {
+                                          done = std::move(done)]() mutable {
           done(webstack::Response{!first_attempt,
                                   first_attempt
                                       ? webstack::Response::Origin::kError
@@ -196,7 +196,7 @@ TEST_F(WorkloadTest, RetriesGiveUpAfterMaxAttempts) {
       [&sim, &attempts](const webstack::Request&, cluster::Node&,
                         webstack::ResponseFn done) {
         ++attempts;
-        sim.schedule(SimTime::millis(1), [done = std::move(done)] {
+        sim.schedule(SimTime::millis(1), [done = std::move(done)]() mutable {
           done(webstack::Response{false, webstack::Response::Origin::kError,
                                   0});
         });

@@ -74,5 +74,65 @@ TEST(ZipfTest, SizeAndAlphaAccessors) {
   EXPECT_DOUBLE_EQ(z.alpha(), 0.7);
 }
 
+// The guide-table fast path must return bit-for-bit the rank the binary
+// search would — sweep seeded uniform draws across a grid of (n, alpha)
+// covering the degenerate corners (uniform alpha, single element).
+TEST(ZipfTest, GuideTableMatchesLowerBoundSeededSweep) {
+  const std::uint64_t sizes[] = {1, 2, 7, 100, 10000};
+  const double alphas[] = {0.0, 0.3, 0.8, 1.0, 1.5, 3.0};
+  for (const std::uint64_t n : sizes) {
+    for (const double alpha : alphas) {
+      ZipfSampler z(n, alpha);
+      common::Rng rng(n * 1000 + static_cast<std::uint64_t>(alpha * 10));
+      for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_EQ(z.rank(u), z.rank_reference(u))
+            << "n=" << n << " alpha=" << alpha << " u=" << u;
+      }
+    }
+  }
+}
+
+// Draws that land exactly on or next to CDF edges are the cases where the
+// guide bucket rounds to the wrong side; the walk must recover.
+TEST(ZipfTest, GuideTableMatchesLowerBoundAtCdfEdges) {
+  ZipfSampler z(64, 1.1);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    double c = 0.0;
+    for (std::uint64_t j = 0; j <= k; ++j) c += z.pmf(j);
+    for (const double u : {std::nextafter(c, 0.0), c, std::nextafter(c, 1.0)}) {
+      if (u < 0.0 || u >= 1.0) continue;
+      EXPECT_EQ(z.rank(u), z.rank_reference(u)) << "k=" << k << " u=" << u;
+    }
+  }
+}
+
+// Chi-square goodness of fit: empirical counts over the head ranks should
+// be consistent with the pmf (statistic well under the 0.001 critical
+// value for the chosen bin count).
+TEST(ZipfTest, ChiSquareAgainstPmf) {
+  ZipfSampler z(200, 0.9);
+  common::Rng rng(2024);
+  constexpr int kDraws = 500000;
+  constexpr std::uint64_t kBins = 20;  // 19 dof; chi2_0.999(19) ~ 43.8
+  std::vector<int> counts(kBins + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = z.sample(rng);
+    ++counts[k < kBins ? k : kBins];
+  }
+  double tail_p = 1.0;
+  double chi2 = 0.0;
+  for (std::uint64_t k = 0; k < kBins; ++k) {
+    const double expected = z.pmf(k) * kDraws;
+    tail_p -= z.pmf(k);
+    const double d = counts[k] - expected;
+    chi2 += d * d / expected;
+  }
+  const double tail_expected = tail_p * kDraws;
+  const double d = counts[kBins] - tail_expected;
+  chi2 += d * d / tail_expected;
+  EXPECT_LT(chi2, 43.8);
+}
+
 }  // namespace
 }  // namespace ah::tpcw

@@ -14,7 +14,7 @@ class AppServerTest : public ::testing::Test {
   DbQueryFn stub_db(SimTime latency = SimTime::millis(5)) {
     return [this, latency](const DbQuery&, cluster::Node&, DbResultFn done) {
       ++db_queries_;
-      sim_.schedule(latency, [done = std::move(done)] {
+      sim_.schedule(latency, [done = std::move(done)]() mutable {
         done(DbResult{true});
       });
     };

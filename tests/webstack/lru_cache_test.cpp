@@ -166,6 +166,113 @@ TEST(LruCacheTest, ZeroSizeObjectsAllowed) {
   EXPECT_EQ(cache.lookup(1), 0);
 }
 
+// Regression: contains() must apply the same freshness rule as lookup()
+// would at the same time — an expired entry reports absent — but without
+// evicting it or touching the counters (a peek must not mutate).
+TEST(LruCacheTest, ContainsReportsExpiredAsAbsentWithoutEvicting) {
+  LruCache cache(1000);
+  cache.insert(1, 100, common::SimTime::seconds(10.0));
+  EXPECT_TRUE(cache.contains(1, common::SimTime::seconds(9.0)));
+  EXPECT_FALSE(cache.contains(1, common::SimTime::seconds(10.0)));  // at expiry
+  EXPECT_FALSE(cache.contains(1, common::SimTime::seconds(11.0)));
+  // The peek left the entry in place: counters untouched, bytes still held.
+  EXPECT_EQ(cache.expirations(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.used(), 100);
+  EXPECT_EQ(cache.object_count(), 1u);
+}
+
+// -- slab/index edge cases ---------------------------------------------------
+
+// Shrinking capacity mid-stream (proxy restart with a smaller cache_mem)
+// must evict from the LRU end and keep the index consistent for the
+// survivors and for later inserts.
+TEST(LruCacheTest, SetCapacityShrinkMidStream) {
+  LruCache cache(100'000, 90, 95);
+  for (std::uint64_t k = 0; k < 200; ++k) cache.insert(k, 400);
+  cache.set_capacity(10'000);  // high watermark now 9'500
+  EXPECT_LE(cache.used(), 9'500);
+  // Most-recent entries survive and stay reachable.
+  EXPECT_TRUE(cache.contains(199));
+  EXPECT_FALSE(cache.contains(0));
+  // The cache keeps working at the new size.
+  for (std::uint64_t k = 200; k < 400; ++k) cache.insert(k, 400);
+  EXPECT_LE(cache.used(), 9'500);
+  EXPECT_TRUE(cache.contains(399));
+}
+
+// A refresh that grows an entry past the high watermark must trigger the
+// same eviction pass a fresh insert would.
+TEST(LruCacheTest, RefreshGrowingPastHighWatermarkEvicts) {
+  LruCache cache(1000, 50, 90);
+  cache.insert(1, 300);
+  cache.insert(2, 300);
+  cache.insert(3, 200);
+  EXPECT_EQ(cache.used(), 800);  // under high watermark (900)
+  cache.insert(3, 400);          // refresh: 800 -> 1000 > 900 -> evict to 500
+  EXPECT_LE(cache.used(), 500);
+  EXPECT_TRUE(cache.contains(3));   // refreshed entry is MRU, survives
+  EXPECT_FALSE(cache.contains(1));  // LRU entry evicted
+}
+
+// Tightening watermarks also tightens the max-object-size refusal rule.
+TEST(LruCacheTest, InsertLargerThanHighWatermarkAfterSetWatermarks) {
+  LruCache cache(1000, 90, 95);
+  EXPECT_TRUE(cache.insert(1, 900));  // fits under 950
+  cache.set_watermarks(30, 50);
+  EXPECT_FALSE(cache.insert(2, 600));  // > 500, refused now
+  EXPECT_TRUE(cache.insert(3, 500));
+}
+
+// Heavy erase/insert churn recycles slab slots; stale index entries or slot
+// aliasing would surface as wrong lookups here.  The key range forces the
+// bucket array through several growth rehashes while erases interleave.
+TEST(LruCacheTest, SlotReuseAfterChurnKeepsIndexConsistent) {
+  LruCache cache(1'000'000, 100, 100);
+  constexpr std::uint64_t kRounds = 50;
+  constexpr std::uint64_t kBatch = 64;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (std::uint64_t k = 0; k < kBatch; ++k) {
+      cache.insert(r * kBatch + k, 1 + (k % 7));
+    }
+    // Erase every other key from this batch — frees slots mid-table.
+    for (std::uint64_t k = 0; k < kBatch; k += 2) {
+      EXPECT_TRUE(cache.erase(r * kBatch + k));
+    }
+  }
+  // Exactly the odd keys of every round remain, each with its own size.
+  EXPECT_EQ(cache.object_count(), kRounds * kBatch / 2);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (std::uint64_t k = 0; k < kBatch; ++k) {
+      const std::uint64_t key = r * kBatch + k;
+      if (k % 2 == 0) {
+        EXPECT_FALSE(cache.contains(key)) << "ghost key " << key;
+      } else {
+        EXPECT_EQ(cache.lookup(key), static_cast<common::Bytes>(1 + (k % 7)))
+            << "key " << key;
+      }
+    }
+  }
+}
+
+// Regression: an insert that lands exactly on a growth rehash must not file
+// the new entry twice (the rehash walk already re-files the whole recency
+// list, new entry included).  A duplicate bucket survives erase and later
+// ghost-hits whatever recycles the slot.
+TEST(LruCacheTest, InsertDuringRehashDoesNotDuplicateIndexEntry) {
+  LruCache cache(1'000'000, 100, 100);
+  // Fill through several doublings of the 64-bucket initial table.
+  for (std::uint64_t k = 0; k < 1000; ++k) cache.insert(k, 1);
+  // Every key must be erasable exactly once — a duplicate would make the
+  // second erase of the same key succeed via the stale bucket.
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(cache.erase(k)) << "key " << k;
+    EXPECT_FALSE(cache.erase(k)) << "duplicate index entry for key " << k;
+  }
+  EXPECT_EQ(cache.object_count(), 0u);
+  EXPECT_EQ(cache.used(), 0);
+}
+
 // Property-style sweep: the byte budget invariant holds across watermark
 // combinations and access patterns.
 class LruWatermarkSweep

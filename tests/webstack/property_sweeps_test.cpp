@@ -123,7 +123,7 @@ TEST_P(ProxyCacheSweep, MemoryHitsNeverDecreaseWithBiggerCache) {
     ProxyServer proxy(
         sim, node,
         [&sim](const Request& r, cluster::Node&, ResponseFn done) {
-          sim.schedule(SimTime::millis(5), [r, done = std::move(done)] {
+          sim.schedule(SimTime::millis(5), [r, done = std::move(done)]() mutable {
             done(Response{true, Response::Origin::kApp, r.response_bytes});
           });
         },
@@ -177,7 +177,7 @@ TEST_P(SwapWatermarkSweep, WatermarksAreNearInert) {
     ProxyServer proxy(
         sim, node,
         [&sim](const Request& r, cluster::Node&, ResponseFn done) {
-          sim.schedule(SimTime::millis(5), [r, done = std::move(done)] {
+          sim.schedule(SimTime::millis(5), [r, done = std::move(done)]() mutable {
             done(Response{true, Response::Origin::kApp, r.response_bytes});
           });
         },

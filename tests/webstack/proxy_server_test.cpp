@@ -19,7 +19,7 @@ class ProxyServerTest : public ::testing::Test {
     return [this, reply_bytes, delay](const Request&, cluster::Node&,
                                       ResponseFn done) {
       ++forwards_;
-      sim_.schedule(delay, [reply_bytes, done = std::move(done)] {
+      sim_.schedule(delay, [reply_bytes, done = std::move(done)]() mutable {
         done(Response{true, Response::Origin::kApp, reply_bytes});
       });
     };
