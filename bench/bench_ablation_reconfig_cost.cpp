@@ -20,14 +20,6 @@ namespace {
 
 using namespace ah;
 
-double settle_and_measure(core::Experiment& experiment, int iterations) {
-  common::RunningStats stats;
-  for (int i = 0; i < iterations; ++i) {
-    stats.add(experiment.run_iteration().wips);
-  }
-  return stats.mean();
-}
-
 double run_move_style(bool immediate, std::vector<double>* dip_series) {
   sim::Simulator sim;
   core::SystemModel::Config config;

@@ -46,17 +46,6 @@ Trace run(SimplexTuner& tuner, Objective objective, std::size_t evals) {
   return trace;
 }
 
-const char* phase_name(SimplexTuner::Phase phase) {
-  switch (phase) {
-    case SimplexTuner::Phase::kInit:     return "initial simplex";
-    case SimplexTuner::Phase::kReflect:  return "reflection";
-    case SimplexTuner::Phase::kExpand:   return "expansion";
-    case SimplexTuner::Phase::kContract: return "contraction";
-    case SimplexTuner::Phase::kShrink:   return "multiple contraction";
-  }
-  return "?";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,7 +80,7 @@ int main(int argc, char** argv) {
          double sum = 0;
          for (std::size_t d = 0; d < p.size(); ++d) {
            const double v = static_cast<double>(p[d]) - 50.0;
-           sum += (d + 1.0) * v * v;
+           sum += (static_cast<double>(d) + 1.0) * v * v;
          }
          return sum;
        }},

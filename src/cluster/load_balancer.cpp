@@ -1,11 +1,14 @@
 #include "cluster/load_balancer.hpp"
+#include "common/analysis.hpp"
 
 #include <cassert>
 #include <limits>
 
+AH_HOT_PATH_FILE;
+
 namespace ah::cluster {
 
-std::size_t LoadBalancer::pick(std::size_t n, const LoadFn& load) {
+std::size_t LoadBalancer::pick(std::size_t n, LoadFn load) {
   assert(n > 0);
   switch (policy_) {
     case BalancePolicy::kRoundRobin: {

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
+#include "common/analysis.hpp"
+#include "common/function_ref.hpp"
 #include "common/rng.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 
@@ -19,14 +22,17 @@ enum class BalancePolicy { kRoundRobin, kLeastLoaded, kRandom };
 class LoadBalancer {
  public:
   /// `load(i)` must return a comparable load figure for backend i (queue
-  /// length, connections, ...); only kLeastLoaded consults it.
-  using LoadFn = std::function<double(std::size_t)>;
+  /// length, connections, ...); only kLeastLoaded consults it.  Consulted
+  /// once per routed request and never stored, so it is a non-owning
+  /// FunctionRef — callers pass a lambda at the pick() call site with no
+  /// allocation and no ownership transfer.
+  using LoadFn = common::FunctionRef<double(std::size_t)>;
 
   explicit LoadBalancer(BalancePolicy policy, std::uint64_t seed = 1)
       : policy_(policy), rng_(seed) {}
 
   /// Picks a backend in [0, n).  Precondition: n > 0.
-  [[nodiscard]] std::size_t pick(std::size_t n, const LoadFn& load = {});
+  [[nodiscard]] std::size_t pick(std::size_t n, LoadFn load = {});
 
   [[nodiscard]] BalancePolicy policy() const { return policy_; }
 

@@ -1,6 +1,9 @@
 #include "cluster/network.hpp"
+#include "common/analysis.hpp"
 
 #include <utility>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 

@@ -9,9 +9,12 @@
 #pragma once
 
 #include "cluster/node.hpp"
+#include "common/analysis.hpp"
 #include "common/object_pool.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 

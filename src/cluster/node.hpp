@@ -11,9 +11,12 @@
 #include <memory>
 #include <string>
 
+#include "common/analysis.hpp"
 #include "common/units.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 

@@ -1,0 +1,64 @@
+// Annotations and compile-time audits consumed by tools/ah_lint.
+//
+// The simulator's headline properties — thread-count-independent
+// determinism, a zero-allocation steady-state request path, SBO-only
+// callables — are cheap to regress silently: one careless std::function or
+// stray rand() keeps every test green while the bench numbers drift.  This
+// header provides the markers that promote those invariants from runtime
+// tests to build-time checks:
+//
+//   AH_HOT_PATH_FILE        file-level marker; ah_lint applies the
+//                           allocation (R1) and pooling (R3) rules to any
+//                           file containing it.
+//   AH_LINT_ALLOW(rule, reason)
+//                           suppresses findings of `rule` on the same line
+//                           or the line immediately below.  The reason is
+//                           mandatory and should say why the invariant is
+//                           safe to relax at this site (cold path, startup
+//                           only, ...).
+//   AH_ASSERT_POOLED_CALL(T)
+//                           static_assert audit for per-request call
+//                           structs parked in common::ObjectPool.
+//
+// The markers compile to nothing; ah_lint matches them textually.
+#pragma once
+
+#include <type_traits>
+
+/// Marks a whole file as request-hot-path.  Place once near the top of the
+/// file (after includes), as a statement: `AH_HOT_PATH_FILE;`.
+#define AH_HOT_PATH_FILE \
+  static_assert(true, "ah-lint: allocation/pooling rules apply to this file")
+
+/// Suppresses ah_lint findings of `rule` on this line or the next one.
+/// `rule` is the rule name as printed by `ah_lint --list-rules`; `reason`
+/// is a string literal justifying the exception.
+#define AH_LINT_ALLOW(rule, reason) \
+  static_assert(true, "ah-lint: allow " #rule ": " reason)
+
+namespace ah::common {
+
+/// Requirements for a per-request call struct held in an ObjectPool.  Pool
+/// slots are created once with emplace_back() and then reused WITHOUT
+/// destruction between requests (the next user overwrites the fields it
+/// needs), so a pooled call must:
+///   * default-construct without throwing (slot creation), and
+///   * destroy without throwing (pool teardown at end of run), and
+///   * be non-polymorphic — a vtable would mean someone expects virtual
+///     dispatch on a struct whose dynamic type the pool erases.
+/// Trivial destructibility is deliberately NOT required: call structs hold
+/// InlineFunction continuations, whose destructor is what guarantees a
+/// parked capture is released exactly once.
+template <typename T>
+inline constexpr bool is_poolable_call_v =
+    std::is_nothrow_default_constructible_v<T> &&
+    std::is_nothrow_destructible_v<T> && !std::is_polymorphic_v<T>;
+
+}  // namespace ah::common
+
+/// Compile-time audit for pooled per-request call structs (see
+/// is_poolable_call_v for the exact requirements and rationale).
+#define AH_ASSERT_POOLED_CALL(T)                        \
+  static_assert(::ah::common::is_poolable_call_v<T>,    \
+                #T " does not satisfy the pooled-call " \
+                   "requirements (see common/analysis.hpp)")

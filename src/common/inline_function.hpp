@@ -19,11 +19,18 @@
 
 namespace ah::common {
 
-template <typename Signature, std::size_t Capacity = 48>
+/// Whether a capture that does not fit the inline buffer may fall back to
+/// the heap.  Hot-path callable aliases (sim::EventFn, webstack::ResponseFn,
+/// ...) use kRequired so an oversized capture is a compile error instead of
+/// a silent allocation regression caught (at best) by zero_alloc_test.
+enum class SboPolicy { kRelaxed, kRequired };
+
+template <typename Signature, std::size_t Capacity = 48,
+          SboPolicy Policy = SboPolicy::kRelaxed>
 class InlineFunction;  // undefined; specialised for function signatures
 
-template <typename R, typename... Args, std::size_t Capacity>
-class InlineFunction<R(Args...), Capacity> {
+template <typename R, typename... Args, std::size_t Capacity, SboPolicy Policy>
+class InlineFunction<R(Args...), Capacity, Policy> {
  public:
   InlineFunction() noexcept = default;
   InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
@@ -103,6 +110,10 @@ class InlineFunction<R(Args...), Capacity> {
         }
       };
     } else {
+      static_assert(Policy == SboPolicy::kRelaxed || sizeof(F) == 0,
+                    "capture exceeds the inline buffer (or has a throwing "
+                    "move) of an SboPolicy::kRequired InlineFunction — "
+                    "shrink the capture or park it in a pooled call struct");
       // Heap fallback: the buffer holds a single owning pointer.
       ::new (static_cast<void*>(&storage_))
           F*(new F(std::forward<Arg>(callable)));

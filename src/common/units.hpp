@@ -15,51 +15,57 @@ namespace ah::common {
 /// A point (or span) in simulated time, in integer microseconds.
 class SimTime {
  public:
-  constexpr SimTime() = default;
-  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t micros) noexcept : micros_(micros) {}
 
-  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
-  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) {
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) noexcept {
     return SimTime{us};
   }
-  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) {
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) noexcept {
     return SimTime{ms * 1000};
   }
-  [[nodiscard]] static constexpr SimTime seconds(double s) {
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept {
     return SimTime{static_cast<std::int64_t>(s * 1e6)};
   }
-  [[nodiscard]] static constexpr SimTime max() {
+  [[nodiscard]] static constexpr SimTime max() noexcept {
     return SimTime{std::numeric_limits<std::int64_t>::max()};
   }
 
-  [[nodiscard]] constexpr std::int64_t as_micros() const { return micros_; }
-  [[nodiscard]] constexpr double as_millis() const { return micros_ / 1e3; }
-  [[nodiscard]] constexpr double as_seconds() const { return micros_ / 1e6; }
+  [[nodiscard]] constexpr std::int64_t as_micros() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double as_millis() const noexcept {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double as_seconds() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
 
   constexpr auto operator<=>(const SimTime&) const = default;
 
-  constexpr SimTime& operator+=(SimTime other) {
+  constexpr SimTime& operator+=(SimTime other) noexcept {
     micros_ += other.micros_;
     return *this;
   }
-  constexpr SimTime& operator-=(SimTime other) {
+  constexpr SimTime& operator-=(SimTime other) noexcept {
     micros_ -= other.micros_;
     return *this;
   }
-  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
     return SimTime{a.micros_ + b.micros_};
   }
-  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
     return SimTime{a.micros_ - b.micros_};
   }
   /// Scales a time span by a real factor (e.g. slowdown under contention).
   /// A single double overload avoids int/double ambiguity; spans below
   /// 2^53 µs (≈285 years) scale exactly for integer factors.
-  friend constexpr SimTime operator*(SimTime a, double k) {
+  friend constexpr SimTime operator*(SimTime a, double k) noexcept {
     return SimTime{static_cast<std::int64_t>(static_cast<double>(a.micros_) * k)};
   }
-  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
-  friend constexpr double operator/(SimTime a, SimTime b) {
+  friend constexpr SimTime operator*(double k, SimTime a) noexcept {
+    return a * k;
+  }
+  friend constexpr double operator/(SimTime a, SimTime b) noexcept {
     return static_cast<double>(a.micros_) / static_cast<double>(b.micros_);
   }
 

@@ -44,7 +44,10 @@ class SystemModel {
   };
 
   struct Config {
-    std::vector<LineSpec> lines = {LineSpec{}};
+    /// One default line.  Spelled as vector(1) rather than {LineSpec{}}:
+    /// the initializer_list form trips a gcc-12 -Wmaybe-uninitialized false
+    /// positive through the list's compiler-generated backing array.
+    std::vector<LineSpec> lines = std::vector<LineSpec>(1);
     cluster::NodeHardware hardware{};
     /// Client -> proxy spreading (the testbed's DNS/IPVS style rotation).
     cluster::BalancePolicy frontend_policy =

@@ -1,7 +1,10 @@
 #include "sim/event_queue.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

@@ -18,14 +18,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/analysis.hpp"
 #include "common/inline_function.hpp"
 #include "common/units.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 
 using EventId = std::uint64_t;
-/// Event closures up to 48 bytes are stored inline (move-only).
-using EventFn = common::InlineFunction<void(), 48>;
+/// Event closures up to 48 bytes are stored inline (move-only).  SBO is
+/// *required*: an oversized capture is a compile error, never a silent
+/// per-event heap allocation.
+using EventFn =
+    common::InlineFunction<void(), 48, common::SboPolicy::kRequired>;
 
 class EventQueue {
  public:

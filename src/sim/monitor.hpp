@@ -6,13 +6,16 @@
 // closures so the monitor needs no knowledge of nodes or resources.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/analysis.hpp"
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 
@@ -20,8 +23,9 @@ class UtilizationMonitor {
  public:
   /// A probe returns the utilization accumulated since its previous call,
   /// in [0, 1+] (values above 1 are possible transiently after a capacity
-  /// shrink).
-  using Probe = std::function<double()>;
+  /// shrink).  Registered once at startup but sampled every monitor period,
+  /// so it is a move-only InlineFunction rather than a std::function.
+  using Probe = common::InlineFunction<double()>;
 
   UtilizationMonitor(Simulator& sim, common::SimTime period,
                      double ewma_alpha = 0.3);

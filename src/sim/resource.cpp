@@ -1,7 +1,10 @@
 #include "sim/resource.hpp"
+#include "common/analysis.hpp"
 
 #include <cassert>
 #include <utility>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

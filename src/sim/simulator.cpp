@@ -1,7 +1,10 @@
 #include "sim/simulator.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <utility>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

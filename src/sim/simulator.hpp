@@ -8,8 +8,11 @@
 
 #include <cstdint>
 
+#include "common/analysis.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

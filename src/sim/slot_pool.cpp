@@ -1,8 +1,11 @@
 #include "sim/slot_pool.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <utility>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

@@ -11,9 +11,12 @@
 #include <cstdint>
 #include <string>
 
+#include "common/analysis.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::sim {
 

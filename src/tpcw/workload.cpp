@@ -108,10 +108,15 @@ void Workload::dispatch(std::size_t browser_index,
       // Re-request the same page after a back-off, like a user
       // reloading an error page.  The retry keeps the original
       // issue timestamp so latency reflects the user's real wait.
+      // The state is parked in a pooled struct: Request + bookkeeping
+      // exceeds the EventFn inline buffer, and EventFn requires SBO.
+      Retry* retry = retries_.acquire();
+      retry->self = this;
+      retry->browser_index = browser_index;
+      retry->request = request;
+      retry->retries_left = retries_left;
       sim_.schedule(config_.retry_backoff,
-                    [this, browser_index, request, retries_left] {
-                      dispatch(browser_index, request, retries_left - 1);
-                    });
+                    [retry] { retry->self->redispatch(retry); });
       return;
     }
     browser_think(browser_index);
@@ -121,6 +126,14 @@ void Workload::dispatch(std::size_t browser_index,
   static_assert(webstack::ResponseFn::stores_inline<decltype(on_response)>(),
                 "browser continuation must not allocate");
   frontend_.route(request, std::move(on_response));
+}
+
+void Workload::redispatch(Retry* retry) {
+  const std::size_t browser_index = retry->browser_index;
+  const webstack::Request request = retry->request;
+  const int retries_left = retry->retries_left;
+  retries_.release(retry);
+  dispatch(browser_index, request, retries_left - 1);
 }
 
 void Workload::browser_think(std::size_t browser_index) {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/object_pool.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
@@ -74,9 +75,21 @@ class Workload {
   [[nodiscard]] std::uint64_t interactions_issued() const { return issued_; }
 
  private:
+  /// Parked state for a backed-off retry: Request + bookkeeping exceeds the
+  /// 48-byte EventFn inline buffer, so the scheduled closure captures one
+  /// pooled pointer instead (retries are rare — error responses only — but
+  /// the SBO-required EventFn makes even the rare path allocation-free).
+  struct Retry {
+    Workload* self = nullptr;
+    std::size_t browser_index = 0;
+    webstack::Request request;
+    int retries_left = 0;
+  };
+
   void browser_issue(std::size_t browser_index);
   void dispatch(std::size_t browser_index, const webstack::Request& request,
                 int retries_left);
+  void redispatch(Retry* retry);
   void browser_think(std::size_t browser_index);
   [[nodiscard]] webstack::Request make_request(common::Rng& rng);
   /// Deterministic size for a cacheable page identity.
@@ -90,6 +103,7 @@ class Workload {
   Config config_;
 
   ZipfSampler item_popularity_;
+  common::ObjectPool<Retry> retries_;
   std::vector<common::Rng> browser_rngs_;
   WirtTracker* wirt_ = nullptr;
   bool running_ = false;

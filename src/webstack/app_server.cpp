@@ -1,7 +1,10 @@
 #include "webstack/app_server.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 
@@ -21,10 +24,13 @@ constexpr auto kSyscallCpu = common::SimTime::micros(14);
 AppServer::AppServer(sim::Simulator& sim, cluster::Node& node,
                      DbQueryFn db_query, const AppParams& params)
     : sim_(sim), node_(node), db_query_(std::move(db_query)), params_(params) {
+  AH_ASSERT_POOLED_CALL(AppCall);
+  AH_LINT_ALLOW(hot_path_alloc, "pool construction: server start only");
   http_pool_ = std::make_unique<sim::SlotPool>(
       sim_, node_.name() + ".http",
       sim::SlotPool::Config{params_.max_processors,
                             static_cast<std::size_t>(params_.accept_count)});
+  AH_LINT_ALLOW(hot_path_alloc, "pool construction: server start only");
   ajp_pool_ = std::make_unique<sim::SlotPool>(
       sim_, node_.name() + ".ajp",
       sim::SlotPool::Config{
@@ -93,7 +99,7 @@ common::SimTime AppServer::io_cpu(common::Bytes bytes) const {
   const std::int64_t syscalls =
       (bytes + params_.buffer_size - 1) / std::max<common::Bytes>(
                                               1, params_.buffer_size);
-  return kSyscallCpu * std::max<std::int64_t>(1, syscalls) +
+  return kSyscallCpu * static_cast<double>(std::max<std::int64_t>(1, syscalls)) +
          common::SimTime::micros(bytes / 16384);  // copy cost
 }
 

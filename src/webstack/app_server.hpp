@@ -20,22 +20,27 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "cluster/node.hpp"
+#include "common/analysis.hpp"
+#include "common/inline_function.hpp"
 #include "common/object_pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
 #include "webstack/params.hpp"
 #include "webstack/request.hpp"
 
+AH_HOT_PATH_FILE;
+
 namespace ah::webstack {
 
 /// Hook for issuing a database query from this node; `done` receives the
-/// result.  Wired to a DbTierRouter by the system model.
-using DbQueryFn =
-    std::function<void(const DbQuery&, cluster::Node& from, DbResultFn done)>;
+/// result.  Wired to a DbTierRouter by the system model.  Invoked once per
+/// query, so it is an SBO-required InlineFunction, not a std::function.
+using DbQueryFn = common::InlineFunction<
+    void(const DbQuery&, cluster::Node& from, DbResultFn done), 48,
+    common::SboPolicy::kRequired>;
 
 class AppServer : public Service {
  public:

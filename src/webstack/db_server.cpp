@@ -1,7 +1,10 @@
 #include "webstack/db_server.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 
@@ -28,9 +31,12 @@ constexpr common::Bytes kThreadStackFloor = 48LL * 1024;
 DbServer::DbServer(sim::Simulator& sim, cluster::Node& node,
                    const DbParams& params, std::uint64_t seed)
     : sim_(sim), node_(node), params_(params), rng_(seed) {
+  AH_ASSERT_POOLED_CALL(DbCall);
+  AH_LINT_ALLOW(hot_path_alloc, "pool construction: server start only");
   connections_ = std::make_unique<sim::SlotPool>(
       sim_, node_.name() + ".conn",
       sim::SlotPool::Config{params_.max_connections});
+  AH_LINT_ALLOW(hot_path_alloc, "pool construction: server start only");
   executors_ = std::make_unique<sim::SlotPool>(
       sim_, node_.name() + ".exec",
       sim::SlotPool::Config{params_.thread_concurrency});
@@ -110,7 +116,7 @@ common::SimTime DbServer::class_cpu(QueryClass cls) {
 common::SimTime DbServer::transfer_cpu(common::Bytes bytes) const {
   const common::Bytes buf = std::max<common::Bytes>(512, params_.net_buffer_length);
   const std::int64_t syscalls = (bytes + buf - 1) / buf;
-  return kSyscallCpu * std::max<std::int64_t>(1, syscalls);
+  return kSyscallCpu * static_cast<double>(std::max<std::int64_t>(1, syscalls));
 }
 
 void DbServer::execute(const DbQuery& query, DbResultFn done) {

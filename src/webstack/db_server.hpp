@@ -30,12 +30,15 @@
 #include <memory>
 
 #include "cluster/node.hpp"
+#include "common/analysis.hpp"
 #include "common/object_pool.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
 #include "webstack/params.hpp"
 #include "webstack/request.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 

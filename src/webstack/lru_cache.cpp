@@ -1,9 +1,12 @@
 #include "webstack/lru_cache.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
 
 #include "common/rng.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 

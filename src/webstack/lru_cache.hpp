@@ -20,7 +20,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/analysis.hpp"
 #include "common/units.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 

@@ -1,7 +1,10 @@
 #include "webstack/proxy_server.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
 #include <cassert>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 
@@ -29,6 +32,7 @@ ProxyServer::ProxyServer(sim::Simulator& sim, cluster::Node& node,
                  params.cache_swap_high),
       disk_cache_(kDiskCacheBytes, params.cache_swap_low,
                   params.cache_swap_high) {
+  AH_ASSERT_POOLED_CALL(ProxyCall);
   charged_memory_ = resident_memory(params_);
   node_.alloc_memory(charged_memory_);
 }

@@ -20,24 +20,28 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
 #include "cluster/node.hpp"
+#include "common/analysis.hpp"
+#include "common/inline_function.hpp"
 #include "common/object_pool.hpp"
 #include "sim/simulator.hpp"
 #include "webstack/lru_cache.hpp"
 #include "webstack/params.hpp"
 #include "webstack/request.hpp"
 
+AH_HOT_PATH_FILE;
+
 namespace ah::webstack {
 
 /// Forwarding hook: sends a request towards the application tier from the
 /// given node; `done` receives the upstream response.  Wired to an
-/// AppTierRouter by the system model (a std::function keeps the proxy
-/// testable without a full cluster).
-using ForwardFn =
-    std::function<void(const Request&, cluster::Node& from, ResponseFn done)>;
+/// AppTierRouter by the system model; a small closure keeps the proxy
+/// testable without a full cluster.  Invoked once per forwarded request, so
+/// it is an SBO-required InlineFunction, not a std::function.
+using ForwardFn = common::InlineFunction<
+    void(const Request&, cluster::Node& from, ResponseFn done), 48,
+    common::SboPolicy::kRequired>;
 
 class ProxyServer : public Service {
  public:

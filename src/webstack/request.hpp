@@ -10,8 +10,11 @@
 #include <cstdint>
 #include <string>
 
+#include "common/analysis.hpp"
 #include "common/inline_function.hpp"
 #include "common/units.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 
@@ -84,8 +87,10 @@ struct Response {
 /// performs no heap allocations.  The 80-byte capacity leaves room for the
 /// workload driver's browser closure (Request + bookkeeping, ~72 bytes),
 /// the largest capture that crosses this interface.  Move-only: a response
-/// callback fires exactly once.
-using ResponseFn = common::InlineFunction<void(const Response&), 80>;
+/// callback fires exactly once.  SBO is required: an oversized capture is a
+/// compile error, never a silent per-request allocation.
+using ResponseFn = common::InlineFunction<void(const Response&), 80,
+                                          common::SboPolicy::kRequired>;
 
 /// Anything that can serve a Request asynchronously.
 class Service {
@@ -110,7 +115,8 @@ struct DbResult {
 };
 
 /// Query-result continuation (see ResponseFn for the callable choice).
-using DbResultFn = common::InlineFunction<void(const DbResult&), 48>;
+using DbResultFn = common::InlineFunction<void(const DbResult&), 48,
+                                          common::SboPolicy::kRequired>;
 
 /// Anything that can execute a DbQuery asynchronously.
 class DbService {

@@ -1,6 +1,9 @@
 #include "webstack/router.hpp"
+#include "common/analysis.hpp"
 
 #include <algorithm>
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 
@@ -18,7 +21,9 @@ bool erase_ptr(std::vector<T*>& vec, T* ptr) {
 
 AppTierRouter::AppTierRouter(cluster::Network& network,
                              cluster::BalancePolicy policy, std::uint64_t seed)
-    : network_(network), balancer_(policy, seed) {}
+    : network_(network), balancer_(policy, seed) {
+  AH_ASSERT_POOLED_CALL(Call);
+}
 
 void AppTierRouter::add_backend(AppServer* server) {
   backends_.push_back(server);
@@ -74,7 +79,9 @@ void AppTierRouter::deliver(Call* call) {
 
 DbTierRouter::DbTierRouter(cluster::Network& network,
                            cluster::BalancePolicy policy, std::uint64_t seed)
-    : network_(network), balancer_(policy, seed) {}
+    : network_(network), balancer_(policy, seed) {
+  AH_ASSERT_POOLED_CALL(Call);
+}
 
 void DbTierRouter::add_backend(DbServer* server) {
   backends_.push_back(server);
@@ -131,7 +138,9 @@ FrontendRouter::FrontendRouter(sim::Simulator& sim,
                                cluster::BalancePolicy policy,
                                common::SimTime client_latency,
                                std::uint64_t seed)
-    : sim_(sim), balancer_(policy, seed), client_latency_(client_latency) {}
+    : sim_(sim), balancer_(policy, seed), client_latency_(client_latency) {
+  AH_ASSERT_POOLED_CALL(Call);
+}
 
 void FrontendRouter::add_backend(ProxyServer* server) {
   backends_.push_back(server);

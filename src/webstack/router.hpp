@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/load_balancer.hpp"
+#include "common/analysis.hpp"
 #include "common/object_pool.hpp"
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
@@ -19,6 +20,8 @@
 #include "webstack/db_server.hpp"
 #include "webstack/proxy_server.hpp"
 #include "webstack/request.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::webstack {
 

@@ -80,7 +80,7 @@ TEST_F(ClusterTest, MoveObserverFires) {
 }
 
 TEST_F(ClusterTest, NodeAccessOutOfRangeThrows) {
-  EXPECT_THROW(cluster_.node(0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(cluster_.node(0)), std::out_of_range);
 }
 
 TEST_F(ClusterTest, NodesGetDistinctNames) {

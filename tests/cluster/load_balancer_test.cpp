@@ -22,16 +22,16 @@ TEST(LoadBalancerTest, RoundRobinSingleBackend) {
 
 TEST(LoadBalancerTest, RoundRobinResetRestartsCycle) {
   LoadBalancer lb(BalancePolicy::kRoundRobin);
-  lb.pick(3);
-  lb.pick(3);
+  static_cast<void>(lb.pick(3));
+  static_cast<void>(lb.pick(3));
   lb.reset();
   EXPECT_EQ(lb.pick(3), 0u);
 }
 
 TEST(LoadBalancerTest, RoundRobinHandlesBackendCountChange) {
   LoadBalancer lb(BalancePolicy::kRoundRobin);
-  lb.pick(3);
-  lb.pick(3);
+  static_cast<void>(lb.pick(3));
+  static_cast<void>(lb.pick(3));
   // Shrink to 2 backends: pick stays in range.
   for (int i = 0; i < 10; ++i) EXPECT_LT(lb.pick(2), 2u);
 }

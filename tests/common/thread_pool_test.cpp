@@ -138,7 +138,10 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
       while (expect < now && !peak.compare_exchange_weak(expect, now)) {
       }
       // Busy-wait a little to force overlap.
-      for (volatile int spin = 0; spin < 100000; ++spin) {
+      // The empty asm keeps the loop from being optimized away (volatile
+      // induction variables are deprecated in C++20).
+      for (int spin = 0; spin < 100000; ++spin) {
+        asm volatile("");
       }
       --running;
     }));

@@ -36,7 +36,7 @@ TEST(ParameterSpaceTest, Accessors) {
   EXPECT_FALSE(space.empty());
   EXPECT_EQ(space.parameter(1).name, "b");
   EXPECT_EQ(space.index_of("c"), 2u);
-  EXPECT_THROW(space.index_of("zzz"), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(space.index_of("zzz")), std::out_of_range);
 }
 
 TEST(ParameterSpaceTest, Defaults) {

@@ -1,0 +1,26 @@
+// Test-only helper for threading wide continuations through EventFn.
+//
+// sim::EventFn requires its capture to fit the 48-byte inline buffer
+// (SboPolicy::kRequired), and a ResponseFn/DbResultFn is wider than that on
+// its own.  Production code parks per-request state in pooled call structs;
+// test stubs do not need a pool, so they park the continuation behind a
+// unique_ptr and capture the single owning pointer instead:
+//
+//   sim.schedule(latency, [done = park(std::move(done))]() mutable {
+//     (*done)(Response{...});
+//   });
+//
+// The allocation is deliberate and test-only.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace ah::test {
+
+template <typename Fn>
+[[nodiscard]] std::unique_ptr<Fn> park(Fn fn) {
+  return std::make_unique<Fn>(std::move(fn));
+}
+
+}  // namespace ah::test

@@ -1,0 +1,114 @@
+// End-to-end tests for tools/ah_lint: spawn the real binary against the
+// fixture tree and assert on output + exit code.  The binary path and the
+// fixture directory come in as compile definitions from CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout only; the summary line goes to stderr
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(AH_LINT_BINARY) + " " + args + " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(AH_LINT_FIXTURES) + "/" + name;
+}
+
+std::size_t count(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(AhLintTest, HotPathAllocFiresExactlyOnce) {
+  const RunResult result = run_lint(fixture("hot_path_alloc.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 1u) << result.output;
+}
+
+TEST(AhLintTest, DeterminismFiresExactlyOnce) {
+  const RunResult result = run_lint(fixture("sim/determinism.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[determinism]"), 1u) << result.output;
+}
+
+TEST(AhLintTest, PoolingFiresExactlyOnce) {
+  const RunResult result = run_lint(fixture("pooling.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[pooling]"), 1u) << result.output;
+}
+
+TEST(AhLintTest, IncludeHygieneFiresExactlyOnce) {
+  const RunResult result = run_lint(fixture("include_hygiene.hpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
+}
+
+TEST(AhLintTest, FindingsCarryFileAndLine) {
+  const RunResult result = run_lint(fixture("hot_path_alloc.cpp"));
+  // `file:line: [rule]` so editors can jump to the finding.
+  EXPECT_NE(result.output.find("hot_path_alloc.cpp:6: [hot_path_alloc]"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(AhLintTest, SuppressedFixtureIsClean) {
+  // Covers ALLOW on the line above, ALLOW on the same line, and banned
+  // tokens inside comments/strings — none of which may fire.
+  const RunResult result = run_lint(fixture("suppressed.cpp"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(AhLintTest, DirectoryScanAggregatesFindings) {
+  const RunResult result = run_lint(std::string(AH_LINT_FIXTURES));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[determinism]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[pooling]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
+}
+
+TEST(AhLintTest, ListRulesNamesEveryRule) {
+  const RunResult result = run_lint("--list-rules");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* rule :
+       {"hot_path_alloc", "determinism", "pooling", "include_hygiene"}) {
+    EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(AhLintTest, MissingPathIsAUsageError) {
+  const RunResult result = run_lint(fixture("no_such_file.cpp"));
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(AhLintTest, SourceTreeIsClean) {
+  // The repo's own src/ must stay lint-clean; this is the same invocation
+  // the `ah_lint_src` build target runs.
+  const RunResult result = run_lint(std::string(AH_SRC_DIR));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+// ah_lint fixture: exactly one hot_path_alloc finding (std::function).
+// Never compiled — scanned by ah_lint_test only.
+AH_HOT_PATH_FILE;
+
+struct Handler {
+  std::function<void()> callback;  // the one finding
+};

@@ -1,0 +1,5 @@
+// ah_lint fixture: exactly one include_hygiene finding (<iostream> in a
+// header).  Never compiled — scanned by ah_lint_test only.
+#pragma once
+
+#include <iostream>

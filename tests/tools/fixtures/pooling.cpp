@@ -1,0 +1,7 @@
+// ah_lint fixture: exactly one pooling finding (std::deque in a hot-path
+// file).  Never compiled — scanned by ah_lint_test only.
+AH_HOT_PATH_FILE;
+
+struct Queue {
+  std::deque<int> pending;  // the one finding
+};

@@ -1,0 +1,7 @@
+// ah_lint fixture: exactly one determinism finding (wall clock).  Lives
+// under a sim/ path component so the path-scoped rule applies.  Never
+// compiled — scanned by ah_lint_test only.
+
+double now_wallclock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,14 @@
+// ah_lint fixture: a banned construct under AH_LINT_ALLOW — zero findings.
+// Exercises both placements: the line above and the same line.  Also checks
+// that banned tokens inside comments and string literals do not fire:
+// std::function, steady_clock, std::deque.  Never compiled.
+AH_HOT_PATH_FILE;
+
+struct Server {
+  void start() {
+    AH_LINT_ALLOW(hot_path_alloc, "fixture: start-up-only allocation");
+    pool_ = std::make_unique<Pool>();
+    buffer_ = std::make_unique<Buffer>();  AH_LINT_ALLOW(hot_path_alloc, "fixture: same-line form");
+  }
+  const char* doc_ = "comments may say std::function freely";
+};

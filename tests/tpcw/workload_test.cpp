@@ -5,6 +5,8 @@
 #include <memory>
 #include <set>
 
+#include "../support/parked.hpp"
+
 namespace ah::tpcw {
 namespace {
 
@@ -26,10 +28,12 @@ class WorkloadTest : public ::testing::Test {
         sim_, node_,
         [this](const webstack::Request& r, cluster::Node&,
                webstack::ResponseFn done) {
-          sim_.schedule(SimTime::millis(10), [r, done = std::move(done)]() mutable {
-            done(webstack::Response{true, webstack::Response::Origin::kApp,
-                                    r.response_bytes});
-          });
+          sim_.schedule(SimTime::millis(10),
+                        [bytes = r.response_bytes,
+                         done = test::park(std::move(done))]() mutable {
+                          (*done)(webstack::Response{
+                              true, webstack::Response::Origin::kApp, bytes});
+                        });
         },
         params);
     frontend_.add_backend(proxy_.get());
@@ -115,10 +119,12 @@ TEST_F(WorkloadTest, DeterministicAcrossRuns) {
         sim, node,
         [&sim](const webstack::Request& r, cluster::Node&,
                webstack::ResponseFn done) {
-          sim.schedule(SimTime::millis(10), [r, done = std::move(done)]() mutable {
-            done(webstack::Response{true, webstack::Response::Origin::kApp,
-                                    r.response_bytes});
-          });
+          sim.schedule(SimTime::millis(10),
+                       [bytes = r.response_bytes,
+                        done = test::park(std::move(done))]() mutable {
+                         (*done)(webstack::Response{
+                             true, webstack::Response::Origin::kApp, bytes});
+                       });
         },
         webstack::ProxyParams{});
     frontend.add_backend(&proxy);
@@ -160,14 +166,16 @@ TEST_F(WorkloadTest, FailedInteractionsAreRetried) {
       [&sim, &seen](const webstack::Request& r, cluster::Node&,
                     webstack::ResponseFn done) {
         const bool first_attempt = seen.insert(r.id).second;
-        sim.schedule(SimTime::millis(5), [r, first_attempt,
-                                          done = std::move(done)]() mutable {
-          done(webstack::Response{!first_attempt,
-                                  first_attempt
-                                      ? webstack::Response::Origin::kError
-                                      : webstack::Response::Origin::kApp,
-                                  first_attempt ? 0 : r.response_bytes});
-        });
+        sim.schedule(
+            SimTime::millis(5),
+            [bytes = r.response_bytes, first_attempt,
+             done = test::park(std::move(done))]() mutable {
+              (*done)(webstack::Response{
+                  !first_attempt,
+                  first_attempt ? webstack::Response::Origin::kError
+                                : webstack::Response::Origin::kApp,
+                  first_attempt ? 0 : bytes});
+            });
       },
       webstack::ProxyParams{});
   frontend.add_backend(&proxy);
@@ -196,10 +204,11 @@ TEST_F(WorkloadTest, RetriesGiveUpAfterMaxAttempts) {
       [&sim, &attempts](const webstack::Request&, cluster::Node&,
                         webstack::ResponseFn done) {
         ++attempts;
-        sim.schedule(SimTime::millis(1), [done = std::move(done)]() mutable {
-          done(webstack::Response{false, webstack::Response::Origin::kError,
-                                  0});
-        });
+        sim.schedule(SimTime::millis(1),
+                     [done = test::park(std::move(done))]() mutable {
+                       (*done)(webstack::Response{
+                           false, webstack::Response::Origin::kError, 0});
+                     });
       },
       webstack::ProxyParams{});
   frontend.add_backend(&proxy);

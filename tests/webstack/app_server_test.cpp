@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/parked.hpp"
+
 namespace ah::webstack {
 namespace {
 
@@ -14,8 +16,8 @@ class AppServerTest : public ::testing::Test {
   DbQueryFn stub_db(SimTime latency = SimTime::millis(5)) {
     return [this, latency](const DbQuery&, cluster::Node&, DbResultFn done) {
       ++db_queries_;
-      sim_.schedule(latency, [done = std::move(done)]() mutable {
-        done(DbResult{true});
+      sim_.schedule(latency, [done = test::park(std::move(done))]() mutable {
+        (*done)(DbResult{true});
       });
     };
   }
@@ -193,7 +195,7 @@ TEST_F(AppServerTest, DbErrorPropagatesAndReleasesThreads) {
   DbQueryFn failing = [](const DbQuery&, cluster::Node&, DbResultFn done) {
     done(DbResult{false});
   };
-  AppServer app(sim_, node_, failing, AppParams{});
+  AppServer app(sim_, node_, std::move(failing), AppParams{});
   const auto profile = servlet_profile(2);
   Response out;
   app.handle(make_request(profile), [&](const Response& r) { out = r; });

@@ -67,7 +67,8 @@ TEST(CatalogueTest, BoundsContainPaperTunedValues) {
 }
 
 TEST(CatalogueTest, UnknownNameThrows) {
-  EXPECT_THROW(catalogue_index("no_such_param"), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(catalogue_index("no_such_param")),
+               std::out_of_range);
 }
 
 TEST(CatalogueTest, DefaultValuesVectorAligned) {

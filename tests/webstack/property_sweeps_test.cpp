@@ -3,6 +3,8 @@
 // value in a parameter's range, not just the defaults the unit tests pin.
 #include <gtest/gtest.h>
 
+#include "../support/parked.hpp"
+
 #include "webstack/db_server.hpp"
 #include "webstack/proxy_server.hpp"
 
@@ -123,8 +125,10 @@ TEST_P(ProxyCacheSweep, MemoryHitsNeverDecreaseWithBiggerCache) {
     ProxyServer proxy(
         sim, node,
         [&sim](const Request& r, cluster::Node&, ResponseFn done) {
-          sim.schedule(SimTime::millis(5), [r, done = std::move(done)]() mutable {
-            done(Response{true, Response::Origin::kApp, r.response_bytes});
+          sim.schedule(SimTime::millis(5),
+                       [bytes = r.response_bytes,
+                        done = test::park(std::move(done))]() mutable {
+            (*done)(Response{true, Response::Origin::kApp, bytes});
           });
         },
         params);
@@ -177,8 +181,10 @@ TEST_P(SwapWatermarkSweep, WatermarksAreNearInert) {
     ProxyServer proxy(
         sim, node,
         [&sim](const Request& r, cluster::Node&, ResponseFn done) {
-          sim.schedule(SimTime::millis(5), [r, done = std::move(done)]() mutable {
-            done(Response{true, Response::Origin::kApp, r.response_bytes});
+          sim.schedule(SimTime::millis(5),
+                       [bytes = r.response_bytes,
+                        done = test::park(std::move(done))]() mutable {
+            (*done)(Response{true, Response::Origin::kApp, bytes});
           });
         },
         params);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/parked.hpp"
+
 #include <vector>
 
 namespace ah::webstack {
@@ -19,8 +21,9 @@ class ProxyServerTest : public ::testing::Test {
     return [this, reply_bytes, delay](const Request&, cluster::Node&,
                                       ResponseFn done) {
       ++forwards_;
-      sim_.schedule(delay, [reply_bytes, done = std::move(done)]() mutable {
-        done(Response{true, Response::Origin::kApp, reply_bytes});
+      sim_.schedule(delay,
+                    [reply_bytes, done = test::park(std::move(done))]() mutable {
+        (*done)(Response{true, Response::Origin::kApp, reply_bytes});
       });
     };
   }
@@ -199,7 +202,7 @@ TEST_F(ProxyServerTest, UpstreamErrorNotCached) {
   ForwardFn failing = [](const Request&, cluster::Node&, ResponseFn done) {
     done(Response{false, Response::Origin::kError, 0});
   };
-  ProxyServer proxy(sim_, node_, failing, ProxyParams{});
+  ProxyServer proxy(sim_, node_, std::move(failing), ProxyParams{});
   const auto profile = cacheable_profile();
   const auto response = serve(proxy, make_request(profile, 7));
   EXPECT_FALSE(response.ok);

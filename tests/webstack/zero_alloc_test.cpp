@@ -34,10 +34,16 @@ void* operator new(std::size_t n) {
 
 void* operator new[](std::size_t n) { return operator new(n); }
 
+// The replacement operator new above allocates with malloc, so freeing with
+// std::free is the matching deallocation; GCC cannot see through the
+// replacement and reports a false mismatched-new-delete pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ah::webstack {
 namespace {
