@@ -6,7 +6,13 @@
 // every `check_every` iterations (paper: every 50).  Watch the tier sizes
 // change and throughput recover.
 //
-// Usage: adaptive_cluster [iterations] [check_every]
+// With --faults a scripted fault plan runs on the same timeline (see
+// sim/fault_injector.hpp for the plan grammar): health checking, per-hop
+// timeouts and proxy retry/serve-stale degradation switch on, and the tuner
+// discards measurement windows that overlapped a disturbance.
+//
+// Usage: adaptive_cluster [iterations] [check_every] [--faults <plan>]
+// Example: adaptive_cluster 60 10 --faults "crash:5@400; restart:5@900"
 #include <cstdio>
 #include <string>
 
@@ -14,17 +20,51 @@
 #include "core/reconfig_controller.hpp"
 #include "core/system_model.hpp"
 #include "core/tuning_driver.hpp"
+#include "sim/fault_injector.hpp"
 #include "tpcw/mix.hpp"
 
 int main(int argc, char** argv) {
   using namespace ah;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 60;
-  const std::size_t check_every = argc > 2 ? std::stoul(argv[2]) : 10;
+  std::size_t iterations = 60;
+  std::size_t check_every = 10;
+  std::string fault_text;
+  std::size_t positional = 0;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--faults") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--faults needs a plan argument\n");
+        return 1;
+      }
+      fault_text = argv[++a];
+    } else if (positional == 0) {
+      iterations = std::stoul(arg);
+      ++positional;
+    } else if (positional == 1) {
+      check_every = std::stoul(arg);
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
 
   sim::Simulator sim;
   core::SystemModel::Config system_config;
   system_config.lines = {core::SystemModel::LineSpec{4, 2, 3}};
   core::SystemModel system(sim, system_config);
+
+  if (!fault_text.empty()) {
+    std::string error;
+    const auto plan = sim::FaultPlan::parse(fault_text, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    system.enable_fault_tolerance({});
+    system.install_fault_plan(*plan);
+    std::printf("# fault plan armed: %zu events\n", plan->events.size());
+  }
 
   core::Experiment::Config experiment_config;
   experiment_config.browsers = 2600;
@@ -42,13 +82,16 @@ int main(int argc, char** argv) {
   reconfig_options.resources[core::SystemModel::kNic].low_threshold = 0.50;
   core::ReconfigController controller(system, reconfig_options);
 
+  std::uint64_t discarded = 0;
   std::printf("# iter workload  WIPS   proxies apps dbs  note\n");
   for (std::size_t i = 0; i < iterations; ++i) {
     if (i == iterations / 3) {
       experiment.set_workload(tpcw::WorkloadKind::kOrdering);
     }
     const auto result = driver.run(1, /*validation_iterations=*/0);
+    discarded += result.discarded_windows;
     std::string note;
+    if (result.discarded_windows > 0) note = "disturbed; window re-measured";
     if (i > 0 && i % check_every == 0) {
       if (const auto decision = controller.check(); decision.has_value()) {
         note = "reconfig: node" + std::to_string(decision->donor_node) +
@@ -67,5 +110,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%zu reconfiguration moves in total.\n",
               controller.moves().size());
+  if (!fault_text.empty()) {
+    std::printf("%llu measurement windows discarded after disturbances.\n",
+                static_cast<unsigned long long>(discarded));
+  }
   return 0;
 }

@@ -1,0 +1,75 @@
+#include "cluster/health_checker.hpp"
+#include "common/analysis.hpp"
+
+#include <cassert>
+
+AH_HOT_PATH_FILE;
+
+namespace ah::cluster {
+
+HealthChecker::HealthChecker(sim::Simulator& sim, Cluster& cluster,
+                             const Config& config)
+    : sim_(sim), cluster_(cluster), config_(config) {
+  assert(config_.period > common::SimTime::zero());
+  assert(config_.mark_down_after >= 1);
+  assert(config_.mark_up_after >= 1);
+}
+
+HealthChecker::~HealthChecker() { stop(); }
+
+void HealthChecker::start() {
+  if (running_) return;
+  running_ = true;
+  tick_id_ = sim_.schedule(config_.period, [this] { tick(); });
+}
+
+void HealthChecker::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(tick_id_);
+  tick_id_ = 0;
+}
+
+bool HealthChecker::node_up(NodeId id) const {
+  if (id >= states_.size()) return true;  // never probed: assumed healthy
+  return states_[id].up;
+}
+
+void HealthChecker::tick() {
+  if (states_.size() < cluster_.node_count()) {
+    states_.resize(cluster_.node_count());
+  }
+  for (NodeId id = 0; id < states_.size(); ++id) {
+    probe(id, states_[id]);
+  }
+  tick_id_ = sim_.schedule(config_.period, [this] { tick(); });
+}
+
+void HealthChecker::probe(NodeId id, NodeState& state) {
+  ++probes_;
+  const bool responded = cluster_.node(id).alive();
+  if (responded) {
+    state.consecutive_failures = 0;
+    if (!state.up && ++state.consecutive_successes >= config_.mark_up_after) {
+      state.up = true;
+      state.consecutive_successes = 0;
+      publish(id, true);
+    }
+  } else {
+    state.consecutive_successes = 0;
+    if (state.up && ++state.consecutive_failures >= config_.mark_down_after) {
+      state.up = false;
+      state.consecutive_failures = 0;
+      publish(id, false);
+    }
+  }
+}
+
+void HealthChecker::publish(NodeId id, bool up) {
+  ++transitions_;
+  cluster_.node(id).set_marked_up(up);
+  cluster_.tier(cluster_.tier_of(id)).set_member_health(id, up);
+  if (observer_) observer_(id, up);
+}
+
+}  // namespace ah::cluster

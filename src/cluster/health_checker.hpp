@@ -1,0 +1,102 @@
+// Periodic heartbeat probing with hysteresis.
+//
+// Models the monitoring daemon of the paper's testbed: every `period` the
+// checker probes each node's liveness and, after `mark_down_after`
+// consecutive failures (resp. `mark_up_after` successes), flips the node's
+// routing mark.  The two-threshold hysteresis is what keeps a *flapping*
+// node from whipsawing the load balancer — a single missed heartbeat never
+// changes routing.  Marks are published in two places consumed on different
+// paths: Node::marked_up() (read by routers building the availability mask
+// per request) and Tier::set_member_health (read by the reconfiguration
+// controller's capacity accounting).
+//
+// Probes are simulated-time events on the shared EventQueue, so runs remain
+// bit-identical across thread counts; the probe itself reads Node::alive()
+// synchronously — heartbeat RTT is far below the probe period on the
+// testbed's switched Ethernet, so modelling it would add events without
+// adding fidelity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/analysis.hpp"
+#include "common/inline_function.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
+
+namespace ah::cluster {
+
+class HealthChecker {
+ public:
+  struct Config {
+    /// Probe interval; every node is probed once per tick.
+    common::SimTime period = common::SimTime::millis(500);
+    /// Consecutive failed probes before a node is marked down.
+    int mark_down_after = 2;
+    /// Consecutive successful probes before a marked-down node returns.
+    int mark_up_after = 2;
+  };
+
+  /// Worst-case time from a crash to mark-down: the crash can land just
+  /// after a probe, then `mark_down_after` more probes must fail.
+  [[nodiscard]] static common::SimTime probe_budget(const Config& config) {
+    return config.period * static_cast<double>(config.mark_down_after + 1);
+  }
+
+  /// Observer fired on each transition as (node, now_up).  Sized like an
+  /// EventFn; SBO-required so observers cannot silently allocate.
+  using TransitionFn =
+      common::InlineFunction<void(NodeId, bool), 48,
+                             common::SboPolicy::kRequired>;
+
+  HealthChecker(sim::Simulator& sim, Cluster& cluster, const Config& config);
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+  ~HealthChecker();
+
+  /// Begins periodic probing (first tick one period from now).
+  void start();
+  /// Stops probing; marks are left as they are.
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  void set_transition_observer(TransitionFn observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Current routing mark for `id` (true until probing says otherwise).
+  [[nodiscard]] bool node_up(NodeId id) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  struct NodeState {
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+    bool up = true;
+  };
+
+  void tick();
+  void probe(NodeId id, NodeState& state);
+  void publish(NodeId id, bool up);
+
+  sim::Simulator& sim_;
+  Cluster& cluster_;
+  Config config_;
+  /// Indexed by NodeId; grown lazily so nodes added mid-run are covered.
+  std::vector<NodeState> states_;
+  TransitionFn observer_;
+  sim::EventId tick_id_ = 0;  // EventQueue ids are never zero
+  bool running_ = false;
+  std::uint64_t probes_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace ah::cluster

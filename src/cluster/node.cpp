@@ -65,8 +65,15 @@ double Node::memory_pressure() const {
          static_cast<double>(hw_.memory);
 }
 
+void Node::set_fault_slowdown(double factor) {
+  assert(factor >= 1.0);
+  fault_slowdown_ = factor;
+  refresh_cpu_slowdown();
+}
+
 void Node::refresh_cpu_slowdown() {
-  cpu_->set_slowdown(paging_slowdown(memory_pressure()) / hw_.cpu_speed);
+  cpu_->set_slowdown(paging_slowdown(memory_pressure()) * fault_slowdown_ /
+                     hw_.cpu_speed);
 }
 
 double Node::cpu_utilization_probe() {

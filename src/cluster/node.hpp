@@ -65,6 +65,25 @@ class Node {
   /// used / capacity; > 1 when overcommitted.
   [[nodiscard]] double memory_pressure() const;
 
+  // -- Fault state (driven by sim::FaultInjector via the system model) ------
+  /// Ground truth used by health probes.  A dead node still exists (its
+  /// resources keep draining in-service work) but refuses new requests.
+  [[nodiscard]] bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// Routing view maintained by cluster::HealthChecker: lags `alive()` by
+  /// the probe thresholds, which is exactly the mark-down/mark-up window
+  /// the fault-recovery experiments measure.  Defaults to true so runs
+  /// without a health checker behave as before.
+  [[nodiscard]] bool marked_up() const { return marked_up_; }
+  void set_marked_up(bool up) { marked_up_ = up; }
+
+  /// Fail-slow multiplier (>= 1.0) applied to all CPU service on this node;
+  /// models a degraded machine (thermal throttling, a sick disk driver)
+  /// that still answers probes.  1.0 = healthy.
+  [[nodiscard]] double fault_slowdown() const { return fault_slowdown_; }
+  void set_fault_slowdown(double factor);
+
   // -- Utilization probes (consumed by sim::UtilizationMonitor) -------------
   /// Each call returns utilization since the previous call to the same probe.
   [[nodiscard]] double cpu_utilization_probe();
@@ -85,6 +104,9 @@ class Node {
   std::unique_ptr<sim::Resource> nic_;
 
   common::Bytes memory_used_ = 0;
+  bool alive_ = true;
+  bool marked_up_ = true;
+  double fault_slowdown_ = 1.0;
 
   struct ProbeSnapshot {
     std::int64_t integral = 0;

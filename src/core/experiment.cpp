@@ -50,10 +50,12 @@ IterationResult Experiment::run_iteration() {
   const common::SimTime measure_to = measure_from + config_.iteration.measure;
   for (auto& meter : meters_) meter->arm(measure_from, measure_to);
 
+  const std::uint64_t disturbances_before = system_.disturbance_count();
   sim.run_until(start + config_.iteration.total());
   ++iterations_;
 
   IterationResult result;
+  result.disturbed = system_.disturbance_count() != disturbances_before;
   result.line_wips.reserve(meters_.size());
   double latency_weight = 0.0;
   std::uint64_t ok_total = 0;

@@ -40,6 +40,11 @@ struct IterationResult {
   double error_ratio = 0.0;  // weighted over lines
   double mean_latency_ms = 0.0;
   std::vector<double> line_wips;  // per work line
+  /// True when a fault event or health transition fired inside the
+  /// warm-up/measure/cool-down window — the WIPS figure then reflects the
+  /// disturbance, not the candidate configuration, and tuners should
+  /// discard or penalise it (paper §III.A assumes a steady plant).
+  bool disturbed = false;
 };
 
 class Experiment {

@@ -52,6 +52,16 @@ std::vector<IterationResult> ParallelEvaluator::evaluate(
     for (std::size_t i = r; i < candidates.size(); i += k) {
       apply(*replica.system, candidates[i]);
       results[i] = replica.experiment->run_iteration();
+      if (results[i].disturbed) {
+        // A fault or health transition overlapped the window, so the WIPS
+        // figure measured the disturbance, not the candidate.  Re-measure
+        // once on the same timeline (the retry is part of the replica's
+        // deterministic schedule, so results stay thread-count-invariant);
+        // if the second window is disturbed too the fault is chronic and
+        // the reading is surrendered as-is, still flagged.
+        discarded_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = replica.experiment->run_iteration();
+      }
     }
   });
   evaluations_ += candidates.size();

@@ -25,6 +25,7 @@
 // single-system path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,6 +75,12 @@ class ParallelEvaluator {
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
   /// Total candidates evaluated across all batches.
   [[nodiscard]] std::size_t evaluations() const { return evaluations_; }
+  /// Measurement windows discarded (and re-run once) because a fault event
+  /// or health transition overlapped them.  Atomic: replicas on different
+  /// pool threads discard independently.
+  [[nodiscard]] std::uint64_t discarded_windows() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
   /// Direct replica access (tests, bespoke drivers).
   [[nodiscard]] SystemModel& replica_system(std::size_t r) {
     return *replicas_.at(r).system;
@@ -97,6 +104,7 @@ class ParallelEvaluator {
   Options options_;
   std::vector<Replica> replicas_;
   std::size_t evaluations_ = 0;
+  std::atomic<std::uint64_t> discarded_{0};
 };
 
 }  // namespace ah::core

@@ -11,6 +11,14 @@ std::optional<harmony::ReconfigDecision> ReconfigController::check() {
   const auto decision = reconfigurer_.decide(readings);
   if (!decision.has_value()) return std::nullopt;
 
+  // Crashed/marked-down nodes are excluded from readings() but still count
+  // toward Tier::size(), so move_node's >=1-member check alone would let a
+  // move drain the last *healthy* node out of the donor tier.
+  const auto donor_tier = system_.cluster().tier_of(decision->donor_node);
+  if (system_.cluster().tier(donor_tier).healthy_count() <= 1) {
+    return std::nullopt;
+  }
+
   system_.move_node(
       decision->donor_node,
       static_cast<cluster::TierKind>(decision->to_tier), decision->immediate,

@@ -272,11 +272,136 @@ bool SystemModel::move_in_progress(NodeId id) const {
   return nodes_.at(id).moving;
 }
 
+webstack::ProxyServer::Resilience
+SystemModel::FaultToleranceConfig::default_proxy_resilience() {
+  webstack::ProxyServer::Resilience resilience;
+  // Two quick exponential re-forwards with deterministic jitter, then fall
+  // back to stale cache copies: bounded work per failed request, no
+  // synchronized retry storm against a recovering tier.
+  resilience.retry.base = common::SimTime::millis(500);
+  resilience.retry.growth = 2.0;
+  resilience.retry.cap = common::SimTime::seconds(5.0);
+  resilience.retry.jitter = 0.2;
+  resilience.retry.max_retries = 2;
+  resilience.serve_stale = true;
+  return resilience;
+}
+
+void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
+  if (health_ == nullptr) {
+    health_ = std::make_unique<cluster::HealthChecker>(sim_, *cluster_,
+                                                       config.health);
+    health_->set_transition_observer([this](NodeId id, bool up) {
+      ++disturbances_;
+      common::log_info("health", "node{} marked {}", id, up ? "up" : "down");
+    });
+    health_->start();
+  }
+  for (Line& line : lines_) {
+    line.frontend->set_hop_timeout(config.hop_timeout);
+    line.app_router->set_hop_timeout(config.hop_timeout);
+    line.db_router->set_hop_timeout(config.hop_timeout);
+  }
+  for (NodeState& state : nodes_) state.proxy->set_resilience(config.proxy);
+}
+
+void SystemModel::install_fault_plan(const sim::FaultPlan& plan) {
+  if (injector_ == nullptr) {
+    injector_ = std::make_unique<sim::FaultInjector>(sim_);
+  }
+  injector_->arm(plan,
+                 [this](const sim::FaultEvent& event) { apply_fault(event); });
+}
+
+void SystemModel::apply_fault(const sim::FaultEvent& event) {
+  switch (event.kind) {
+    case sim::FaultEvent::Kind::kCrash:
+      crash_node(event.node);
+      break;
+    case sim::FaultEvent::Kind::kRestart:
+      restart_node(event.node);
+      break;
+    case sim::FaultEvent::Kind::kSlowStart:
+      set_node_fail_slow(event.node, event.magnitude);
+      break;
+    case sim::FaultEvent::Kind::kSlowEnd:
+      set_node_fail_slow(event.node, 1.0);
+      break;
+    case sim::FaultEvent::Kind::kLinkDegrade:
+      // sim::kFaultAnyNode and cluster::kAnyNode are both ~0u, so ids pass
+      // through unchanged.
+      ++disturbances_;
+      network_->set_link_fault(event.node, event.peer, event.magnitude,
+                               event.delay);
+      break;
+    case sim::FaultEvent::Kind::kLinkRestore:
+      ++disturbances_;
+      network_->clear_link_fault(event.node, event.peer);
+      break;
+  }
+}
+
+void SystemModel::set_role_active(NodeState& state, bool active) {
+  switch (cluster_->tier_of(state.id)) {
+    case TierKind::kProxy: state.proxy->set_active(active); break;
+    case TierKind::kApp:   state.app->set_active(active); break;
+    case TierKind::kDb:    state.db->set_active(active); break;
+  }
+}
+
+void SystemModel::crash_node(NodeId id) {
+  NodeState& state = nodes_.at(id);
+  cluster::Node& node = cluster_->node(id);
+  if (!node.alive()) return;
+  ++disturbances_;
+  node.set_alive(false);
+  common::log_info("fault", "node{} crash", id);
+  // New requests fail fast at the dead server until the health checker
+  // reroutes them; a node mid-move has no registered role to deactivate.
+  if (!state.moving) set_role_active(state, false);
+  // Drop queued (not yet in-service) work through the existing rejection
+  // paths.  Continuations die uninvoked; router generation stamps and hop
+  // timeouts are what keep upstream callers from hanging.  In-service
+  // hardware jobs finish — a crash cannot un-burn CPU already modelled.
+  node.cpu().clear_queue();
+  node.disk().clear_queue();
+  node.nic().clear_queue();
+  state.app->http_pool().clear_waiters();
+  state.app->ajp_pool().clear_waiters();
+  state.db->connections().clear_waiters();
+  state.db->executors().clear_waiters();
+}
+
+void SystemModel::restart_node(NodeId id) {
+  NodeState& state = nodes_.at(id);
+  cluster::Node& node = cluster_->node(id);
+  if (node.alive()) return;
+  ++disturbances_;
+  node.set_alive(true);
+  node.set_fault_slowdown(1.0);
+  common::log_info("fault", "node{} restart", id);
+  // Reactivation charges the role's restart burst (cold caches, config
+  // parse) — recovery is visible in the WIPS series, as on the testbed.
+  if (!state.moving) set_role_active(state, true);
+}
+
+void SystemModel::set_node_fail_slow(NodeId id, double factor) {
+  cluster::Node& node = cluster_->node(id);
+  ++disturbances_;
+  node.set_fault_slowdown(factor);
+  common::log_info("fault", "node{} fail-slow x{}", id, factor);
+}
+
 std::vector<harmony::NodeReading> SystemModel::readings() {
   std::vector<harmony::NodeReading> out;
   out.reserve(nodes_.size());
   for (auto& state : nodes_) {
     if (state.moving) continue;  // mid-move nodes are neither donors nor hot
+    const cluster::Node& node = cluster_->node(state.id);
+    // Dead or marked-down nodes carry no usable load signal and must not
+    // be chosen as reconfiguration donors; the controller sees the tier's
+    // capacity shrink instead (Tier::healthy_count).
+    if (!node.alive() || !node.marked_up()) continue;
     const TierKind tier = cluster_->tier_of(state.id);
     harmony::NodeReading reading;
     reading.node_id = state.id;

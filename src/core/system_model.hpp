@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/health_checker.hpp"
 #include "cluster/load_balancer.hpp"
 #include "cluster/network.hpp"
 #include "harmony/reconfig.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/monitor.hpp"
 #include "sim/simulator.hpp"
 #include "webstack/app_server.hpp"
@@ -114,6 +116,55 @@ class SystemModel {
   /// True when a move is still pending on the node.
   [[nodiscard]] bool move_in_progress(cluster::NodeId id) const;
 
+  // -- Fault tolerance & injection ----------------------------------------
+  /// Degradation machinery switched on by enable_fault_tolerance().  All
+  /// defaults are conservative-but-active; a model that never calls
+  /// enable_fault_tolerance() behaves bit-identically to the fault-unaware
+  /// build.
+  struct FaultToleranceConfig {
+    cluster::HealthChecker::Config health{};
+    /// Per-hop router timeout (zero = wait forever).  Must exceed the
+    /// longest legitimate response time or healthy slow requests get cut.
+    common::SimTime hop_timeout = common::SimTime::seconds(15.0);
+    /// Proxy upstream retry + serve-stale policy.
+    webstack::ProxyServer::Resilience proxy = default_proxy_resilience();
+    [[nodiscard]] static webstack::ProxyServer::Resilience
+    default_proxy_resilience();
+  };
+
+  /// Starts health checking and arms per-hop timeouts + proxy resilience on
+  /// every line.  Idempotent (later calls just update the knobs).
+  void enable_fault_tolerance(const FaultToleranceConfig& config);
+  [[nodiscard]] bool fault_tolerance_enabled() const {
+    return health_ != nullptr;
+  }
+  [[nodiscard]] cluster::HealthChecker* health_checker() {
+    return health_.get();
+  }
+  [[nodiscard]] cluster::Network& network() { return *network_; }
+
+  /// Schedules `plan` on this model's timeline; events are applied through
+  /// crash_node/restart_node/set_node_fail_slow and the network link-fault
+  /// hooks.  Re-installing replaces any previous plan.
+  void install_fault_plan(const sim::FaultPlan& plan);
+
+  /// Kills a node: it stops answering health probes, its active role
+  /// refuses new requests, and queued hardware/pool work is dropped
+  /// through the existing rejection paths (in-service jobs finish; their
+  /// late replies are defused by router generations/timeouts).
+  void crash_node(cluster::NodeId id);
+  /// Brings a crashed node back (restart burst charged by set_active).
+  void restart_node(cluster::NodeId id);
+  /// Applies a fail-slow CPU multiplier (1.0 = healthy).
+  void set_node_fail_slow(cluster::NodeId id, double factor);
+
+  /// Monotonic count of fault events and health-state transitions.
+  /// Measurement windows snapshot it before/after to tag windows that
+  /// overlapped a disturbance (Experiment::run_iteration).
+  [[nodiscard]] std::uint64_t disturbance_count() const {
+    return disturbances_;
+  }
+
   // -- Monitoring ---------------------------------------------------------
   [[nodiscard]] sim::UtilizationMonitor& monitor() { return *monitor_; }
   /// Snapshot of per-node readings for harmony::Reconfigurer, using the
@@ -150,6 +201,10 @@ class SystemModel {
   void activate_role(cluster::NodeId id, cluster::TierKind role);
   void finish_move(cluster::NodeId id, cluster::TierKind to,
                    common::SimTime config_cost);
+  /// FaultInjector dispatcher: maps generic fault events onto this model.
+  void apply_fault(const sim::FaultEvent& event);
+  /// set_active(on/off) for the role matching the node's current tier.
+  void set_role_active(NodeState& state, bool active);
 
   sim::Simulator& sim_;
   Config config_;
@@ -158,6 +213,9 @@ class SystemModel {
   std::unique_ptr<sim::UtilizationMonitor> monitor_;
   std::vector<Line> lines_;
   std::vector<NodeState> nodes_;
+  std::unique_ptr<cluster::HealthChecker> health_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::uint64_t disturbances_ = 0;
 };
 
 }  // namespace ah::core

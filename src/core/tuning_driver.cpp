@@ -224,7 +224,15 @@ void TuningDriver::explore_sequential(TuningResult& result,
                                       std::size_t iterations) {
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     apply_pending();
-    const IterationResult measured = experiment_.run_iteration();
+    IterationResult measured = experiment_.run_iteration();
+    if (measured.disturbed) {
+      // A fault/health transition overlapped the window: the reading
+      // reflects the disturbance, not the candidate.  Discard and
+      // re-measure once; if the fault persists the second reading is used
+      // anyway so a flapping node cannot stall the search.
+      ++result.discarded_windows;
+      measured = experiment_.run_iteration();
+    }
     result.wips_series.push_back(measured.wips);
     report(measured);
   }
@@ -272,6 +280,7 @@ void TuningDriver::explore_parallel(TuningResult& result,
         server_.report_performance_batch(sessions_[line], performances);
       }
       series.resize(iterations);
+      result.discarded_windows += evaluator.discarded_windows();
     }
     result.wips_series.assign(iterations, 0.0);
     for (const auto& series : line_series) {
@@ -312,6 +321,7 @@ void TuningDriver::explore_parallel(TuningResult& result,
   // batch-1 evaluations; the recorded series is trimmed to the budget
   // (every evaluation was still reported to the session).
   result.wips_series.resize(iterations);
+  result.discarded_windows += evaluator.discarded_windows();
 }
 
 void TuningDriver::finalize(TuningResult& result,

@@ -75,6 +75,10 @@ struct TuningResult {
   /// First iteration after which no significant improvement occurred
   /// (Table 4 "Iterations"); nullopt when never converged.
   std::optional<std::size_t> converged_at;
+  /// Measurement windows thrown away (and re-measured once) because a
+  /// fault event or health transition overlapped them — the tuner must not
+  /// mistake a crash-induced WIPS dip for a bad candidate configuration.
+  std::uint64_t discarded_windows = 0;
 
   /// Mean/stddev of WIPS over iterations [from, to).
   [[nodiscard]] double mean_wips(std::size_t from, std::size_t to) const;

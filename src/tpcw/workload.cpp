@@ -89,7 +89,7 @@ void Workload::browser_issue(std::size_t browser_index) {
   common::Rng& rng = browser_rngs_[browser_index];
   const webstack::Request request = make_request(rng);
   ++issued_;
-  dispatch(browser_index, request, config_.max_retries);
+  dispatch(browser_index, request, config_.retry.max_retries);
 }
 
 void Workload::dispatch(std::size_t browser_index,
@@ -115,7 +115,8 @@ void Workload::dispatch(std::size_t browser_index,
       retry->browser_index = browser_index;
       retry->request = request;
       retry->retries_left = retries_left;
-      sim_.schedule(config_.retry_backoff,
+      const int attempt = config_.retry.max_retries - retries_left;
+      sim_.schedule(config_.retry.backoff(attempt, request.id),
                     [retry] { retry->self->redispatch(retry); });
       return;
     }

@@ -24,6 +24,7 @@
 #include "tpcw/metrics.hpp"
 #include "tpcw/mix.hpp"
 #include "tpcw/zipf.hpp"
+#include "webstack/retry_policy.hpp"
 #include "webstack/router.hpp"
 
 namespace ah::tpcw {
@@ -41,11 +42,12 @@ class Workload {
     common::SimTime think_mean = common::SimTime::seconds(3.5);
     common::SimTime think_cap = common::SimTime::seconds(35.0);
     /// A browser whose interaction fails (connection refused at a full
-    /// accept queue) retries the same page after this back-off, up to
-    /// `max_retries` times, then gives up and browses on — the TPC-W
-    /// emulated-browser behaviour of re-requesting the page.
-    common::SimTime retry_backoff = common::SimTime::seconds(1.5);
-    int max_retries = 4;
+    /// accept queue) retries the same page per this policy, then gives up
+    /// and browses on — the TPC-W emulated-browser behaviour of
+    /// re-requesting the page.  The defaults (fixed 1.5 s interval, 4
+    /// retries, no jitter) are the historical behaviour; fault scenarios
+    /// opt into growth/jitter to avoid synchronized retry storms.
+    webstack::RetryPolicy retry;
     std::uint64_t seed = 2004;
   };
 

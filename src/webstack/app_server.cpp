@@ -124,6 +124,7 @@ common::SimTime AppServer::charge_thread_growth(sim::SlotPool& pool,
 void AppServer::handle(const Request& request, ResponseFn done) {
   assert(request.profile != nullptr);
   if (!active_) {
+    ++stats_.refused;
     done(Response{false, Response::Origin::kError, 0});
     return;
   }

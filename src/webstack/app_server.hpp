@@ -50,6 +50,10 @@ class AppServer : public Service {
     std::uint64_t rejected_ajp = 0;
     std::uint64_t db_queries = 0;
     std::uint64_t threads_spawned = 0;
+    /// Requests that reached an inactive (stopped or crashed) server.
+    /// fault_recovery_test asserts this stays flat after mark-down — the
+    /// health-checked routers must send a dead node nothing.
+    std::uint64_t refused = 0;
   };
 
   AppServer(sim::Simulator& sim, cluster::Node& node, DbQueryFn db_query,

@@ -161,6 +161,26 @@ common::Bytes LruCache::lookup(std::uint64_t key, common::SimTime now) {
   return e.size;
 }
 
+common::Bytes LruCache::lookup_stale(std::uint64_t key) {
+  const std::size_t b = find_bucket(key);
+  if (b == kNoBucket) {
+    ++misses_;
+    return -1;
+  }
+  const std::int32_t slot = buckets_[b].slot;
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  // Freshness deliberately not checked: in serve-stale mode any copy beats
+  // an error page.  The entry stays cached so repeated degraded hits keep
+  // working until the tier recovers and a fresh copy replaces it.
+  ++hits_;
+  ++stale_hits_;
+  if (head_ != slot) {  // promote to MRU
+    list_detach(slot);
+    list_push_front(slot);
+  }
+  return e.size;
+}
+
 bool LruCache::contains(std::uint64_t key, common::SimTime now) const {
   const std::size_t b = find_bucket(key);
   if (b == kNoBucket) return false;

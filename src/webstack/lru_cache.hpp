@@ -40,6 +40,13 @@ class LruCache {
   common::Bytes lookup(std::uint64_t key,
                        common::SimTime now = common::SimTime::zero());
 
+  /// Degraded-mode lookup: like lookup(), but an expired entry still
+  /// counts as a hit (promoted, kept, counted under stale_hits).  The
+  /// proxy's serve-stale mode prefers an outdated page over an error when
+  /// the whole application tier is marked down — RFC 5861's
+  /// stale-if-error, in cache terms.
+  common::Bytes lookup_stale(std::uint64_t key);
+
   /// Peeks without promoting and without touching the hit/miss counters
   /// (for tests/metrics).  An entry expired at or before `now` reports as
   /// absent — matching what lookup() at the same time would conclude — but
@@ -71,6 +78,7 @@ class LruCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::uint64_t expirations() const { return expirations_; }
+  [[nodiscard]] std::uint64_t stale_hits() const { return stale_hits_; }
   [[nodiscard]] double hit_ratio() const;
 
  private:
@@ -143,6 +151,7 @@ class LruCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+  std::uint64_t stale_hits_ = 0;
 };
 
 }  // namespace ah::webstack

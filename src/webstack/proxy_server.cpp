@@ -103,6 +103,7 @@ void ProxyServer::handle(const Request& request, ResponseFn done) {
   call->self = this;
   call->request = request;
   call->done = std::move(done);
+  call->attempt = 0;
 
   auto after = [call] { call->self->after_lookup(call); };
   static_assert(sim::Resource::Completion::stores_inline<decltype(after)>(),
@@ -170,6 +171,20 @@ void ProxyServer::forward_upstream(ProxyCall* call) {
 }
 
 void ProxyServer::on_upstream(ProxyCall* call, const Response& upstream) {
+  if (!upstream.ok) {
+    if (resilience_.retry.allows(call->attempt)) {
+      // Bounded exponential backoff with per-request deterministic jitter:
+      // a marked-down tier does not get hammered, and recovering capacity
+      // is not hit by a synchronized thundering herd of re-forwards.
+      const common::SimTime delay =
+          resilience_.retry.backoff(call->attempt, call->request.id);
+      ++call->attempt;
+      ++stats_.upstream_retries;
+      sim_.schedule(delay, [call] { call->self->forward_upstream(call); });
+      return;
+    }
+    if (serve_stale(call)) return;
+  }
   if (upstream.ok) maybe_cache(call->request, upstream);
   // Relay cost: the proxy shuttles the upstream response through
   // its own socket pair (read from app tier, write to client).
@@ -180,6 +195,18 @@ void ProxyServer::on_upstream(ProxyCall* call, const Response& upstream) {
                   : common::SimTime::micros(200);
   call->response = upstream;
   node_.cpu().submit(relay_cpu, [call] { call->self->finish(call); });
+}
+
+bool ProxyServer::serve_stale(ProxyCall* call) {
+  if (!resilience_.serve_stale) return false;
+  if (!call->request.profile->cacheable) return false;
+  const common::Bytes size = mem_cache_.lookup_stale(call->request.object_id);
+  if (size < 0) return false;
+  ++stats_.stale_served;
+  call->response = Response{true, Response::Origin::kProxyMemory, size};
+  const auto copy_cpu = common::SimTime::micros(500 + size / 64);
+  node_.cpu().submit(copy_cpu, [call] { call->self->finish(call); });
+  return true;
 }
 
 void ProxyServer::maybe_cache(const Request& request,

@@ -29,6 +29,7 @@
 #include "webstack/lru_cache.hpp"
 #include "webstack/params.hpp"
 #include "webstack/request.hpp"
+#include "webstack/retry_policy.hpp"
 
 AH_HOT_PATH_FILE;
 
@@ -52,6 +53,19 @@ class ProxyServer : public Service {
     std::uint64_t misses_forwarded = 0;     // cacheable but absent
     std::uint64_t passthrough = 0;          // non-cacheable
     std::uint64_t errors = 0;
+    std::uint64_t upstream_retries = 0;     // re-forwards after an error
+    std::uint64_t stale_served = 0;         // degraded-mode cache hits
+  };
+
+  /// Degraded-mode behaviour when the upstream (application tier) errors.
+  /// The defaults — no retries, no stale serving — are behaviour-identical
+  /// to the fault-unaware proxy, keeping golden outputs stable.
+  struct Resilience {
+    /// Upstream re-forward schedule; max_retries 0 disables retrying.
+    RetryPolicy retry{.max_retries = 0};
+    /// When the upstream still fails after retries, serve an expired copy
+    /// from the memory cache rather than an error (stale-if-error).
+    bool serve_stale = false;
   };
 
   ProxyServer(sim::Simulator& sim, cluster::Node& node, ForwardFn forward,
@@ -65,6 +79,11 @@ class ProxyServer : public Service {
   /// requests and releases its memory.
   void set_active(bool active);
   [[nodiscard]] bool active() const { return active_; }
+
+  void set_resilience(const Resilience& resilience) {
+    resilience_ = resilience;
+  }
+  [[nodiscard]] const Resilience& resilience() const { return resilience_; }
 
   void handle(const Request& request, ResponseFn done) override;
 
@@ -85,6 +104,9 @@ class ProxyServer : public Service {
     Request request;
     ResponseFn done;
     Response response;
+    /// Upstream forwards already failed for this request (reset per use —
+    /// pool slots are recycled without re-initialisation).
+    int attempt = 0;
   };
 
   /// CPU demand of the request-parsing + store-index lookup step.
@@ -97,6 +119,9 @@ class ProxyServer : public Service {
   void serve_from_disk(ProxyCall* call, common::Bytes size);
   void forward_upstream(ProxyCall* call);
   void on_upstream(ProxyCall* call, const Response& upstream);
+  /// Last-resort path after retries are exhausted: serve an expired cached
+  /// copy when allowed, else relay the error.  Returns true when handled.
+  bool serve_stale(ProxyCall* call);
   void maybe_cache(const Request& request, const Response& response);
   void finish(ProxyCall* call);
 
@@ -109,6 +134,7 @@ class ProxyServer : public Service {
   LruCache mem_cache_;
   LruCache disk_cache_;
 
+  Resilience resilience_;
   bool active_ = true;
   int inflight_ = 0;
   common::Bytes charged_memory_ = 0;

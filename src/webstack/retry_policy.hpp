@@ -1,0 +1,63 @@
+// Shared retry/backoff policy for the request path.
+//
+// Generalises the TPC-W emulated browser's fixed-interval page reload and
+// the proxy's upstream re-forward into one bounded exponential-backoff
+// schedule with *deterministic* jitter: the jitter fraction for attempt a of
+// request r is a pure hash of (r, a), so two runs of the same scenario take
+// byte-identical retry timings regardless of thread count.  The defaults
+// (growth 1.0, jitter 0.0) reproduce the historical fixed-backoff behaviour
+// exactly, which keeps golden benchmark CSVs stable; fault-tolerant
+// deployments opt into growth > 1 so a mass failure does not turn into a
+// synchronized retry storm.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/analysis.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+AH_HOT_PATH_FILE;
+
+namespace ah::webstack {
+
+struct RetryPolicy {
+  /// Delay before the first retry.
+  common::SimTime base = common::SimTime::seconds(1.5);
+  /// Multiplier applied per attempt (1.0 = fixed interval).
+  double growth = 1.0;
+  /// Upper bound on any single backoff delay.
+  common::SimTime cap = common::SimTime::seconds(60.0);
+  /// Jitter amplitude in [0, 1]: the delay is scaled by a deterministic
+  /// factor drawn from [1 - jitter, 1 + jitter).  0 = no jitter.
+  double jitter = 0.0;
+  /// Attempts after the initial try; 0 disables retrying entirely.
+  int max_retries = 4;
+
+  /// Backoff before retry `attempt` (0-based: 0 = first retry) of the
+  /// request identified by `key`.  Pure function of (policy, attempt, key).
+  [[nodiscard]] common::SimTime backoff(int attempt,
+                                        std::uint64_t key) const {
+    double scale = 1.0;
+    for (int i = 0; i < attempt; ++i) scale *= growth;
+    common::SimTime delay =
+        std::min(cap, base * scale);
+    if (jitter > 0.0) {
+      // splitmix64 of (key, attempt) -> uniform in [0, 1); no generator
+      // state, so retry timing never perturbs any other random stream.
+      const std::uint64_t h =
+          common::mix_seed(key, static_cast<std::uint64_t>(attempt) + 1);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      delay = delay * (1.0 - jitter + 2.0 * jitter * u);
+    }
+    return delay;
+  }
+
+  /// True when `attempt` (0-based) is still within budget.
+  [[nodiscard]] bool allows(int attempt) const {
+    return attempt < max_retries;
+  }
+};
+
+}  // namespace ah::webstack

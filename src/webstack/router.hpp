@@ -6,6 +6,17 @@
 // other directly, which is what lets the reconfiguration logic retarget a
 // node by just removing/adding it here while in-flight requests drain
 // naturally.
+//
+// Fault tolerance: each router consults the health marks maintained by
+// cluster::HealthChecker (Node::marked_up) when picking a backend, fails
+// fast when every backend is marked down, and — when a hop timeout is
+// configured — abandons a hop whose reply never arrives (crashed backend,
+// dropped message).  Call lifetime under timeouts uses the same
+// generation-stamping trick as the event queue: every pooled Call carries a
+// generation bumped on release, continuations capture (call, generation)
+// and become no-ops once stale, so a late reply can never touch a recycled
+// call.  With timeouts disabled and all nodes marked up (the defaults),
+// behaviour is bit-identical to the fault-unaware router.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,14 @@ inline constexpr common::Bytes kForwardRequestBytes = 512;
 /// Size of a database query message.
 inline constexpr common::Bytes kQueryRequestBytes = 384;
 
+/// Degradation counters shared by all routers.
+struct RouterStats {
+  /// Hops abandoned because the reply missed the configured timeout.
+  std::uint64_t timeouts = 0;
+  /// Requests failed immediately because every backend was marked down.
+  std::uint64_t fast_fails = 0;
+};
+
 /// Routes requests from the proxy tier to the application tier.
 class AppTierRouter {
  public:
@@ -43,14 +62,21 @@ class AppTierRouter {
     return backends_;
   }
 
+  /// Abandon a routed request whose response has not arrived within
+  /// `timeout` (zero = wait forever, the default).  The caller sees an
+  /// error response; a late reply is discarded.
+  void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
   /// Sends `request` from node `from` to a selected backend; `done` fires
   /// with the backend's response after the return hop.  With no backends
-  /// the request fails immediately.
+  /// (or all of them marked down) the request fails immediately.
   void route(const Request& request, cluster::Node& from, ResponseFn done);
 
  private:
   /// Per-hop state, pooled so the network/backend continuations capture
-  /// only one pointer (see ProxyServer::ProxyCall).
+  /// only one pointer (see ProxyServer::ProxyCall).  `generation` outlives
+  /// each use: bumped on release, checked by continuations (stale = no-op).
   struct Call {
     AppTierRouter* self = nullptr;
     AppServer* backend = nullptr;
@@ -58,16 +84,22 @@ class AppTierRouter {
     Request request;
     ResponseFn done;
     Response response;
+    std::uint32_t generation = 0;
+    sim::EventId timeout_id = 0;
   };
 
   void on_forwarded(Call* call);
   void on_response(Call* call, const Response& response);
+  void on_timeout(Call* call);
   void deliver(Call* call);
+  void finish(Call* call, const Response& response);
 
   cluster::Network& network_;
   cluster::LoadBalancer balancer_;
   std::vector<AppServer*> backends_;
   common::ObjectPool<Call> calls_;
+  common::SimTime hop_timeout_ = common::SimTime::zero();
+  RouterStats stats_;
 };
 
 /// Routes database queries from the application tier to the database tier.
@@ -83,6 +115,9 @@ class DbTierRouter {
     return backends_;
   }
 
+  void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
   void route(const DbQuery& query, cluster::Node& from, DbResultFn done);
 
  private:
@@ -93,16 +128,22 @@ class DbTierRouter {
     DbQuery query;
     DbResultFn done;
     DbResult result;
+    std::uint32_t generation = 0;
+    sim::EventId timeout_id = 0;
   };
 
   void on_forwarded(Call* call);
   void on_result(Call* call, const DbResult& result);
+  void on_timeout(Call* call);
   void deliver(Call* call);
+  void finish(Call* call, const DbResult& result);
 
   cluster::Network& network_;
   cluster::LoadBalancer balancer_;
   std::vector<DbServer*> backends_;
   common::ObjectPool<Call> calls_;
+  common::SimTime hop_timeout_ = common::SimTime::zero();
+  RouterStats stats_;
 };
 
 /// Entry point: routes emulated-browser requests to the proxy tier.
@@ -121,6 +162,9 @@ class FrontendRouter {
     return backends_;
   }
 
+  void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
   void route(const Request& request, ResponseFn done);
 
  private:
@@ -130,18 +174,24 @@ class FrontendRouter {
     Request request;
     ResponseFn done;
     Response response;
+    std::uint32_t generation = 0;
+    sim::EventId timeout_id = 0;
   };
 
   void on_client_arrived(Call* call);
   void on_response(Call* call, const Response& response);
   void on_nic_done(Call* call);
+  void on_timeout(Call* call);
   void deliver(Call* call);
+  void finish(Call* call, const Response& response);
 
   sim::Simulator& sim_;
   cluster::LoadBalancer balancer_;
   common::SimTime client_latency_;
   std::vector<ProxyServer*> backends_;
   common::ObjectPool<Call> calls_;
+  common::SimTime hop_timeout_ = common::SimTime::zero();
+  RouterStats stats_;
 };
 
 }  // namespace ah::webstack

@@ -71,5 +71,68 @@ TEST(LoadBalancerTest, RandomDeterministicPerSeed) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(a.pick(10), b.pick(10));
 }
 
+// -- Availability mask -------------------------------------------------------
+
+TEST(LoadBalancerTest, MaskedRoundRobinSkipsUnavailable) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  const auto avail = [](std::size_t i) { return i != 1; };
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(lb.pick(3, {}, avail));
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 2, 0, 2, 0, 2}));
+}
+
+TEST(LoadBalancerTest, MaskedRoundRobinSpreadsEvenlyOverHealthySubset) {
+  // The naive fix — advance the cursor modulo n, then skip forward to the
+  // next available backend — lands twice as often on the survivor that
+  // follows a masked-out backend.  The cursor must count *picks*, not
+  // backend indices, for an even spread.
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  const auto avail = [](std::size_t i) { return i != 2; };
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 900; ++i) ++counts[lb.pick(4, {}, avail)];
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 300);
+  EXPECT_EQ(counts[1], 300);
+  EXPECT_EQ(counts[3], 300);
+}
+
+TEST(LoadBalancerTest, MaskedRoundRobinUnmaskedSequenceUnchanged) {
+  // An all-true mask must reproduce the unmasked sequence exactly
+  // (golden-run byte-identity when fault tolerance is enabled but no
+  // fault ever fires).
+  LoadBalancer masked(BalancePolicy::kRoundRobin);
+  LoadBalancer plain(BalancePolicy::kRoundRobin);
+  const auto all = [](std::size_t) { return true; };
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(masked.pick(3, {}, all), plain.pick(3));
+  }
+}
+
+TEST(LoadBalancerTest, MaskedLeastLoadedSkipsUnavailable) {
+  LoadBalancer lb(BalancePolicy::kLeastLoaded);
+  const std::vector<double> loads{5.0, 1.0, 3.0};
+  EXPECT_EQ(lb.pick(
+                3, [&](std::size_t i) { return loads[i]; },
+                [](std::size_t i) { return i != 1; }),
+            2u);
+}
+
+TEST(LoadBalancerTest, MaskedRandomPicksOnlyAvailable) {
+  LoadBalancer lb(BalancePolicy::kRandom, 11);
+  const auto avail = [](std::size_t i) { return i % 2 == 0; };
+  for (int i = 0; i < 500; ++i) {
+    const auto pick = lb.pick(6, {}, avail);
+    EXPECT_EQ(pick % 2, 0u);
+  }
+}
+
+TEST(LoadBalancerTest, FullyMaskedFallsBackToAll) {
+  // An all-false mask is ignored (callers fail fast before picking, but
+  // the balancer itself must not divide by the empty subset).
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  const auto none = [](std::size_t) { return false; };
+  EXPECT_LT(lb.pick(3, {}, none), 3u);
+}
+
 }  // namespace
 }  // namespace ah::cluster

@@ -216,7 +216,7 @@ TEST_F(WorkloadTest, RetriesGiveUpAfterMaxAttempts) {
   meter.arm(SimTime::zero(), SimTime::seconds(600.0));
   Workload::Config c;
   c.browsers = 1;
-  c.max_retries = 2;
+  c.retry.max_retries = 2;
   c.think_mean = SimTime::seconds(1000.0);  // effectively one interaction
   c.think_cap = SimTime::seconds(2000.0);
   c.seed = 5;
