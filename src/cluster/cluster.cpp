@@ -2,7 +2,10 @@
 
 #include <stdexcept>
 
+#include "common/analysis.hpp"
 #include "common/fmt.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 
@@ -12,6 +15,7 @@ Cluster::Cluster(sim::Simulator& sim)
 
 NodeId Cluster::add_node(const NodeHardware& hw, TierKind tier_kind) {
   const auto id = static_cast<NodeId>(nodes_.size());
+  AH_LINT_ALLOW(hot_path_alloc, "topology construction: add_node runs at cluster build time only");
   nodes_.push_back(std::make_unique<Node>(
       sim_, id, common::format("node{}", id), hw));
   node_tier_.push_back(tier_kind);

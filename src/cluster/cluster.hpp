@@ -16,7 +16,10 @@
 
 #include "cluster/node.hpp"
 #include "cluster/tier.hpp"
+#include "common/analysis.hpp"
 #include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 
@@ -51,6 +54,7 @@ class Cluster {
   void move_node(NodeId id, TierKind to);
 
   /// Observer invoked as (node, from, to) after each move.
+  AH_LINT_ALLOW(hot_path_alloc, "reconfiguration observer: node moves are rare control-plane events");
   using MoveObserver = std::function<void(NodeId, TierKind, TierKind)>;
   void set_move_observer(MoveObserver observer) {
     move_observer_ = std::move(observer);

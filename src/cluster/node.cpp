@@ -4,6 +4,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/analysis.hpp"
+
+AH_HOT_PATH_FILE;
+
 namespace ah::cluster {
 
 namespace {
@@ -25,12 +29,15 @@ Node::Node(sim::Simulator& sim, NodeId id, std::string name,
     : sim_(sim), id_(id), name_(std::move(name)), hw_(hw) {
   assert(hw_.cpu_cores > 0);
   assert(hw_.cpu_speed > 0.0);
+  AH_LINT_ALLOW(hot_path_alloc, "node construction: resources allocated once at startup");
   cpu_ = std::make_unique<sim::Resource>(
       sim_, name_ + ".cpu",
       sim::Resource::Config{hw_.cpu_cores, static_cast<std::size_t>(-1),
                             1.0 / hw_.cpu_speed});
+  AH_LINT_ALLOW(hot_path_alloc, "node construction: resources allocated once at startup");
   disk_ = std::make_unique<sim::Resource>(
       sim_, name_ + ".disk", sim::Resource::Config{1});
+  AH_LINT_ALLOW(hot_path_alloc, "node construction: resources allocated once at startup");
   nic_ = std::make_unique<sim::Resource>(
       sim_, name_ + ".nic", sim::Resource::Config{1});
 }

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <cstddef>
 
+#include "common/analysis.hpp"
+
+AH_HOT_PATH_FILE;
+
 namespace ah::cluster {
 
 bool Tier::contains(NodeId id) const {

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "common/analysis.hpp"
+
+AH_HOT_PATH_FILE;
 
 namespace ah::cluster {
 

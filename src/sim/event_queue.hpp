@@ -1,20 +1,42 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap over (time, sequence) keyed events.  The sequence number
-// breaks ties so that two events scheduled for the same instant fire in
-// scheduling order — this determinism is what makes whole experiments
-// reproducible.  Cancellation is lazy: cancelled ids are skipped at pop time,
-// which keeps the hot path free of heap rebuilds.
+// A hierarchical calendar queue (timer wheel): four levels of 256 buckets
+// whose widths grow by a factor of 256 per level, so one structure spans
+// 2^32 µs (~71 minutes) of future time at O(1) amortised push/pop; events
+// beyond that horizon wait in an overflow list that is folded back in one
+// 2^32 µs epoch at a time.  A cursor tracks the tick (µs) the queue has
+// drained up to; the ready list holds the events of the cursor's tick in
+// FIFO order.  When it empties, the level-0 occupancy bitmap yields the
+// next populated one-tick bucket directly, and when a 256-tick block is
+// exhausted a bucket from the lowest-populated higher level cascades down.
 //
-// Event ids are generation-stamped slot handles: the low 32 bits index a
-// slot table, the high 32 bits carry that slot's generation at push time.
+// Storage is a single slab of nodes that doubles as the id slot table;
+// buckets, the ready run and the overflow are intrusive singly-linked
+// lists threaded through the slab.  Moving an event between levels is a
+// pointer splice — the closure payload never moves — and once the slab has
+// grown to the peak event population the queue performs no heap
+// allocation at all, no matter which buckets future times touch.
+//
+// Determinism: equal-time events pop in push order.  The wheel preserves
+// this without sequence numbers because every list involved is append-only
+// in push order — a bucket receives nodes either from `push` (later pushes
+// append later) or from a cascade, which distributes a single parent
+// bucket's nodes in their stored order into child buckets that are
+// provably empty at that moment.  Pop order is therefore byte-identical to
+// the previous (time, sequence) binary heap.  Cancellation is lazy:
+// cancelled nodes are reaped when their tick is reached, which keeps the
+// hot path free of structural repair.
+//
+// Event ids are generation-stamped slot handles: the low 32 bits index the
+// slab, the high 32 bits carry that slot's generation at push time.
 // cancel() is then a single array probe (no hash set), and a recycled slot
-// can never be confused with the event that used it before — the stale id's
-// generation no longer matches.  Closures are stored in a
+// can never be confused with the event that used it before — the stale
+// id's generation no longer matches.  Closures are stored in a
 // small-buffer-optimised InlineFunction, so scheduling a typical
 // `[this, ...]` capture performs no heap allocation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -58,24 +80,44 @@ class EventQueue {
   /// Removes and returns the earliest live event.  Precondition: !empty().
   Entry pop();
 
+  /// Number of live (pending, non-cancelled) events.  Exact under lazy
+  /// cancellation: a cancelled-but-unreaped entry is excluded the moment
+  /// cancel() returns, so queue-depth introspection never overcounts.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+  /// Historic name for size(); kept for existing call sites.
   [[nodiscard]] std::size_t live_size() const { return live_count_; }
+  /// Physical entries still held (live + cancelled-but-unreaped).  The gap
+  /// between this and size() is the lazy-cancellation debt.
+  [[nodiscard]] std::size_t stored_size() const { return stored_count_; }
 
  private:
-  struct HeapItem {
-    common::SimTime time;
-    std::uint64_t seq;  // monotonic: ties fire in scheduling order
-    EventId id;
-    EventFn fn;
+  /// 2^kBucketBits buckets per level; level l buckets span 2^(8l) ticks.
+  static constexpr std::size_t kBucketBits = 8;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::uint64_t kIndexMask = kBuckets - 1;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
 
-    // std::*_heap builds a max-heap; invert so the earliest pops first.
-    bool operator<(const HeapItem& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  /// Slab node: event payload + id slot + intrusive list link.  The slab
+  /// index is the id's low 32 bits, so one array serves as event storage,
+  /// slot table and list arena at once.
+  struct Node {
+    common::SimTime time;
+    EventFn fn;
+    std::uint32_t generation = 1;  // bumped on pop/cancel; 0 never occurs
+    std::uint32_t next = kNil;
+    bool cancelled = false;
   };
 
-  struct Slot {
-    std::uint32_t generation = 1;  // bumped on release; 0 never occurs
+  struct List {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  struct Wheel {
+    std::array<List, kBuckets> buckets;
+    /// One bit per bucket; makes "next populated bucket" a word scan.
+    std::array<std::uint64_t, kBuckets / 64> occupied{};
   };
 
   [[nodiscard]] static std::uint32_t slot_of(EventId id) {
@@ -84,23 +126,51 @@ class EventQueue {
   [[nodiscard]] static std::uint32_t generation_of(EventId id) {
     return static_cast<std::uint32_t>(id >> 32);
   }
+  /// Clamps negative times to tick 0; the ready-list insert keeps their
+  /// relative order by actual SimTime.
+  [[nodiscard]] static std::uint64_t tick_of(common::SimTime time) {
+    const std::int64_t us = time.as_micros();
+    return us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+  }
   /// True when `id` refers to a live (pending, non-cancelled) event.
   [[nodiscard]] bool is_live(EventId id) const {
     const std::uint32_t slot = slot_of(id);
-    return slot < slots_.size() &&
-           slots_[slot].generation == generation_of(id);
+    return slot < nodes_.size() &&
+           nodes_[slot].generation == generation_of(id);
   }
-  /// Releases an id's slot for reuse; stale heap items stop matching.
-  void release(EventId id);
 
-  /// Pops cancelled items off the heap head until a live one surfaces.
-  void drop_cancelled_head();
+  void append(List& list, std::uint32_t n);
+  /// Routes a node to the ready list, a wheel bucket, or the overflow list
+  /// according to its tick's distance from the cursor.
+  void place(std::uint32_t n);
+  /// Inserts into the ready list keeping (time, push-order) sorted; the
+  /// common case (at or after every queued time) is an O(1) append.
+  void ready_insert(std::uint32_t n);
+  /// Reaps cancelled nodes and reloads the ready list from the wheels
+  /// until a live node leads it (or everything stored is exhausted).
+  void ensure_ready();
+  /// Advances the cursor to the next populated tick and loads it into the
+  /// ready list.  Returns false when wheels and overflow are all empty.
+  bool advance();
+  /// Folds the earliest 2^32 µs epoch of overflow nodes back into the
+  /// wheels (in stored order, preserving FIFO ties).
+  void drain_overflow_epoch();
+  /// Next set bucket index >= `from` at `level`, or -1.
+  [[nodiscard]] int next_occupied(std::size_t level, std::uint64_t from) const;
 
-  std::vector<HeapItem> heap_;
-  std::vector<Slot> slots_;
+  std::array<Wheel, kLevels> wheels_;
+  List overflow_;
+  /// Events of the cursor's tick (plus late pushes at or before it), in
+  /// pop order.
+  List ready_;
+  /// The tick the queue has drained up to: every stored node with a
+  /// strictly smaller tick has been popped or sits in the ready list.
+  std::uint64_t cursor_ = 0;
+
+  std::vector<Node> nodes_;
   std::vector<std::uint32_t> free_slots_;
-  std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t stored_count_ = 0;
 };
 
 }  // namespace ah::sim

@@ -166,6 +166,40 @@ std::vector<double> faulted_series(std::size_t threads) {
   return wips;
 }
 
+// Healthy (no-fault) counterpart: the calendar-queue scheduler drives
+// every replica timeline, and its pop order must not depend on how
+// replicas are spread over worker threads.  Catches any wheel/cascade
+// state that would leak across timelines.
+std::vector<double> healthy_series(std::size_t threads) {
+  common::ThreadPool pool(threads);
+  ParallelEvaluator::Options options;
+  options.topology.lines = {SystemModel::LineSpec{1, 2, 1}};
+  options.experiment = small_config(60);
+  options.replicas = 2;
+  ParallelEvaluator evaluator(pool, options);
+  const std::vector<harmony::PointI> batch(6, webstack::default_values());
+  std::vector<double> wips;
+  const auto apply = [](SystemModel& system, const harmony::PointI& values) {
+    system.apply_values_all(values);
+  };
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& result : evaluator.evaluate(batch, apply)) {
+      wips.push_back(result.wips);
+    }
+  }
+  return wips;
+}
+
+TEST(FaultDeterminismTest, SchedulerTrajectoryIdenticalAcrossThreadCounts) {
+  const auto one = healthy_series(1);
+  const auto two = healthy_series(2);
+  const auto eight = healthy_series(8);
+  ASSERT_EQ(one.size(), 12u);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  for (const double w : one) EXPECT_GT(w, 0.0);
+}
+
 TEST(FaultDeterminismTest, RecoveryTrajectoryIdenticalAcrossThreadCounts) {
   const auto one = faulted_series(1);
   const auto two = faulted_series(2);

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
+
+#include "common/rng.hpp"
 
 namespace ah::sim {
 namespace {
@@ -155,6 +161,153 @@ TEST(EventQueueTest, CancelHeavyStressKeepsOrderAndCounts) {
     ++popped;
   }
   EXPECT_EQ(popped, 500u);
+}
+
+TEST(EventQueueTest, EqualTimeTiesAcrossBucketBoundaries) {
+  // Tie groups pinned where the wheel changes gear: the last one-tick
+  // bucket of a level-0 block, the first tick of the next block, level-2
+  // and level-3 territory, and both sides of the overflow horizon.  Every
+  // group must still pop in push order after the cascades that reach it.
+  EventQueue q;
+  const std::int64_t times[] = {255,        256,           65'535,
+                                65'536,     16'777'216,    (1LL << 32) - 1,
+                                (1LL << 32), (1LL << 32) + 7};
+  std::vector<std::pair<std::int64_t, int>> order;
+  std::vector<std::pair<std::int64_t, int>> expected;
+  int seq = 0;
+  // Round-robin across the times so each tie group's pushes interleave
+  // with every other group's.
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const std::int64_t t : times) {
+      q.push(SimTime::micros(t),
+             [&order, t, s = seq] { order.push_back({t, s}); });
+      expected.push_back({t, seq});
+      ++seq;
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, CancelInOverflowBucket) {
+  // 5000 s = 5e9 µs, beyond the wheel's 2^32 µs span: the event sits in
+  // the overflow list, where cancellation is lazy (reaped when reached).
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  const EventId doomed = q.push(SimTime::seconds(5000), [&] { order.push_back(2); });
+  q.push(SimTime::seconds(6000), [&] { order.push_back(3); });
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.cancel(doomed));
+  EXPECT_FALSE(q.cancel(doomed));
+  EXPECT_EQ(q.size(), 2u);         // excluded the moment cancel() returns
+  EXPECT_EQ(q.stored_size(), 3u);  // but physically reaped only later
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(q.stored_size(), 0u);
+}
+
+TEST(EventQueueTest, SizeStaysExactUnderLazyCancellation) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.push(SimTime::micros(1000 + i), [] {}));
+  }
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_EQ(q.stored_size(), 64u);
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  // size() is exact immediately; stored_size() still carries the
+  // cancelled-but-unreaped debt.
+  EXPECT_EQ(q.size(), 32u);
+  EXPECT_EQ(q.stored_size(), 64u);
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++popped;
+    EXPECT_EQ(q.size(), 32u - popped);
+  }
+  EXPECT_EQ(popped, 32u);
+  EXPECT_EQ(q.stored_size(), 0u);
+}
+
+TEST(EventQueueTest, RolloverCascadeStressMatchesReferenceModel) {
+  // Randomized interleaving of push/cancel/pop against an exact reference
+  // of the old binary heap's order: a set of (time, global push sequence)
+  // pairs.  The delta mixture deliberately hits one-tick ties, level
+  // boundaries, deep levels and the overflow horizon, and the final drain
+  // walks the cursor across several 2^32 µs overflow epochs.
+  EventQueue q;
+  common::Rng rng(0xc0ffee);
+  std::set<std::pair<std::int64_t, int>> ref;
+  struct Pushed {
+    EventId id;
+    std::int64_t time;
+    int seq;
+  };
+  std::vector<Pushed> pushed;
+  std::vector<int> popped;
+  int seq = 0;
+  std::int64_t now = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t r = rng();
+      std::int64_t delta = 0;
+      switch (r % 5) {
+        case 0: delta = static_cast<std::int64_t>((r >> 8) % 4); break;
+        case 1: delta = 250 + static_cast<std::int64_t>((r >> 8) % 12); break;
+        case 2: delta = static_cast<std::int64_t>((r >> 8) % (1u << 20)); break;
+        case 3:
+          delta = (1LL << 24) + static_cast<std::int64_t>((r >> 8) % 1024);
+          break;
+        case 4:
+          delta = (1LL << 32) + static_cast<std::int64_t>((r >> 8) % 1000);
+          break;
+      }
+      const std::int64_t t = now + delta;
+      const int s = seq++;
+      const EventId id =
+          q.push(SimTime::micros(t), [&popped, s] { popped.push_back(s); });
+      ref.insert({t, s});
+      pushed.push_back(Pushed{id, t, s});
+    }
+    // Cancel a couple of arbitrary earlier pushes; a stale id (already
+    // popped or already cancelled) must refuse, a live one must agree
+    // with the reference.
+    for (int i = 0; i < 2; ++i) {
+      const Pushed& victim = pushed[rng() % pushed.size()];
+      if (q.cancel(victim.id)) {
+        EXPECT_EQ(ref.erase({victim.time, victim.seq}), 1u);
+      } else {
+        EXPECT_EQ(ref.count({victim.time, victim.seq}), 0u);
+      }
+    }
+    for (int i = 0; i < 6 && !q.empty(); ++i) {
+      ASSERT_FALSE(ref.empty());
+      const auto expect = *ref.begin();
+      ref.erase(ref.begin());
+      auto entry = q.pop();
+      ASSERT_EQ(entry.time.as_micros(), expect.first);
+      entry.fn();
+      ASSERT_EQ(popped.back(), expect.second);
+      now = expect.first;
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  while (!q.empty()) {
+    ASSERT_FALSE(ref.empty());
+    const auto expect = *ref.begin();
+    ref.erase(ref.begin());
+    auto entry = q.pop();
+    ASSERT_EQ(entry.time.as_micros(), expect.first);
+    entry.fn();
+    ASSERT_EQ(popped.back(), expect.second);
+  }
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(q.stored_size(), 0u);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrder) {
