@@ -15,14 +15,19 @@
 // every number is deterministic for a given seed.  Results land in
 // BENCH_fault_recovery.json.
 //
-// Usage: bench_fault_recovery [--smoke]
-//   --smoke  compressed timeline for the ctest smoke run.
+// Usage: bench_fault_recovery [--smoke] [--metrics <path>] [--trace <path>]
+//   --smoke    compressed timeline for the ctest smoke run.
+//   --metrics  write the end-of-run registry snapshot (JSON).
+//   --trace    write the run's span CSV (proxy/app/db hops).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/system_model.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
 #include "tpcw/metrics.hpp"
@@ -43,12 +48,27 @@ struct Scenario {
 struct Bucket {
   double start_s = 0.0;
   double wips = 0.0;
+  double p95_ms = 0.0;
   bool victim_marked_up = true;
 };
+
+void print_latency(std::FILE* out, const char* key, const ah::obs::Histogram& h,
+                   const char* suffix) {
+  std::fprintf(out,
+               "  \"%s\": {\"count\": %llu, \"p50_ms\": %.3f, "
+               "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+               key, static_cast<unsigned long long>(h.count()),
+               static_cast<double>(h.p50_us()) / 1e3,
+               static_cast<double>(h.p95_us()) / 1e3,
+               static_cast<double>(h.p99_us()) / 1e3,
+               static_cast<double>(h.max_us()) / 1e3, suffix);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path = bench::string_flag(argc, argv, "--metrics");
+  const std::string trace_path = bench::string_flag(argc, argv, "--trace");
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -67,6 +87,8 @@ int main(int argc, char** argv) {
   topology.lines = {core::SystemModel::LineSpec{2, 2, 2}};
   core::SystemModel system(sim, topology);
   system.enable_fault_tolerance({});
+  obs::TraceRecorder trace;
+  if (!trace_path.empty()) system.set_trace_recorder(&trace);
 
   const auto victim =
       system.cluster().tier(cluster::TierKind::kDb).members()[1];
@@ -96,6 +118,11 @@ int main(int argc, char** argv) {
 
   std::vector<Bucket> buckets;
   double detection_s = -1.0;
+  // Latency distributions merged across bucket windows: whole run plus the
+  // healthy (pre-crash) and outage (crash..restart) phases separately.
+  obs::Histogram latency_all;
+  obs::Histogram latency_healthy;
+  obs::Histogram latency_outage;
   for (double t = 0.0; t < scenario.end_s; t += scenario.bucket_s) {
     meter.arm(common::SimTime::seconds(t),
               common::SimTime::seconds(t + scenario.bucket_s));
@@ -103,6 +130,15 @@ int main(int argc, char** argv) {
     Bucket bucket;
     bucket.start_s = t;
     bucket.wips = meter.wips();
+    const obs::Histogram& window = meter.latency_histogram();
+    bucket.p95_ms = static_cast<double>(window.p95_us()) / 1e3;
+    latency_all.merge(window);
+    if (t + scenario.bucket_s <= scenario.crash_at_s) {
+      latency_healthy.merge(window);
+    } else if (t >= scenario.crash_at_s &&
+               t + scenario.bucket_s <= scenario.restart_at_s) {
+      latency_outage.merge(window);
+    }
     bucket.victim_marked_up = system.cluster().node(victim).marked_up();
     if (detection_s < 0.0 && !bucket.victim_marked_up) {
       // Bucket granularity; the true mark-down is inside this bucket.
@@ -167,17 +203,30 @@ int main(int argc, char** argv) {
                baseline > 0.0 ? outage / baseline : 0.0);
   std::fprintf(out, "  \"detection_seconds\": %.1f,\n", detection_s);
   std::fprintf(out, "  \"recovery_seconds\": %.1f,\n", recovery_s);
+  print_latency(out, "latency", latency_all, ",");
+  print_latency(out, "latency_healthy", latency_healthy, ",");
+  print_latency(out, "latency_outage", latency_outage, ",");
   std::fprintf(out, "  \"buckets\": [\n");
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     std::fprintf(out,
-                 "    {\"t\": %.0f, \"wips\": %.2f, \"victim_up\": %s}%s\n",
-                 buckets[i].start_s, buckets[i].wips,
+                 "    {\"t\": %.0f, \"wips\": %.2f, \"p95_ms\": %.2f, "
+                 "\"victim_up\": %s}%s\n",
+                 buckets[i].start_s, buckets[i].wips, buckets[i].p95_ms,
                  buckets[i].victim_marked_up ? "true" : "false",
                  i + 1 < buckets.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_fault_recovery.json\n");
+
+  if (!metrics_path.empty() && !system.metrics().write_json(metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    return 1;
+  }
+  if (!trace_path.empty() && !trace.write_csv(trace_path)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
 
   // Smoke sanity: the scenario must actually have degraded and recovered.
   if (detection_s < 0.0) {

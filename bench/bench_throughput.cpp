@@ -17,9 +17,11 @@
 // have a number.  Results land in BENCH_throughput.json in the working
 // directory, with the pre-optimisation baseline embedded for comparison.
 //
-// Usage: bench_throughput [--smoke]
-//   --smoke  seconds-long run exercising the full wiring + JSON emission
-//            (registered as a ctest); numbers are not meaningful.
+// Usage: bench_throughput [--smoke] [--metrics <path>] [--trace <path>]
+//   --smoke    seconds-long run exercising the full wiring + JSON emission
+//              (registered as a ctest); numbers are not meaningful.
+//   --metrics  write the Shopping run's full registry snapshot (JSON).
+//   --trace    write the Shopping run's span CSV (proxy/app/db hops).
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -30,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/system_model.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "tpcw/metrics.hpp"
@@ -222,8 +226,18 @@ double bench_event_queue(std::uint64_t iterations) {
 // Sections 4+5: full 3-tier cluster under a TPC-W mix.
 // ---------------------------------------------------------------------------
 
+/// In-window latency percentiles (exact-rank, from the meter's histogram).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+};
+
 struct ClusterRun {
   EndToEndNumbers numbers;
+  LatencySummary latency;
   double allocs_per_request = 0.0;
   std::uint64_t events = 0;
   std::uint64_t requests = 0;
@@ -232,10 +246,14 @@ struct ClusterRun {
 };
 
 ClusterRun run_cluster(tpcw::WorkloadKind kind, double warmup_s,
-                       double measure_s, bool nic_batching = false) {
+                       double measure_s, bool nic_batching = false,
+                       const std::string& metrics_path = std::string(),
+                       const std::string& trace_path = std::string()) {
   sim::Simulator sim;
   core::SystemModel system(sim, {});
   system.network().set_destination_batching(nic_batching);
+  obs::TraceRecorder trace;
+  if (!trace_path.empty()) system.set_trace_recorder(&trace);
   tpcw::WipsMeter meter;
   tpcw::Workload::Config config;
   config.browsers = 530;
@@ -257,6 +275,15 @@ ClusterRun run_cluster(tpcw::WorkloadKind kind, double warmup_s,
       g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
 
   ClusterRun run;
+  const obs::Histogram& hist = meter.latency_histogram();
+  run.latency = {hist.count(), hist.p50_us(), hist.p95_us(), hist.p99_us(),
+                 hist.max_us()};
+  if (!metrics_path.empty() && !system.metrics().write_json(metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty() && !trace.write_csv(trace_path)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+  }
   run.events = sim.events_executed() - events_before;
   run.requests = workload.interactions_issued() - issued_before;
   run.sim_seconds = measure_s;
@@ -274,9 +301,13 @@ ClusterRun run_cluster(tpcw::WorkloadKind kind, double warmup_s,
 void print_end_to_end(const char* name, const ClusterRun& run) {
   std::printf(
       "  %-9s %9.0f events/s  %7.0f req/s  %.4f wall-s per sim-s  "
-      "%.2f allocs/req  (%llu events, %llu requests, %.1f sim-s in %.2f s)\n",
+      "%.2f allocs/req  p50/p95/p99 %.1f/%.1f/%.1f ms  "
+      "(%llu events, %llu requests, %.1f sim-s in %.2f s)\n",
       name, run.numbers.events_per_sec, run.numbers.requests_per_sec,
       run.numbers.wall_per_sim_second, run.allocs_per_request,
+      static_cast<double>(run.latency.p50_us) / 1e3,
+      static_cast<double>(run.latency.p95_us) / 1e3,
+      static_cast<double>(run.latency.p99_us) / 1e3,
       static_cast<unsigned long long>(run.events),
       static_cast<unsigned long long>(run.requests), run.sim_seconds,
       run.wall_seconds);
@@ -341,13 +372,21 @@ void write_json(double zipf_rate, double lru_rate, double queue_rate,
                  "      {\"mix\": \"%s\", \"events_per_sec\": %.0f, "
                  "\"requests_per_sec\": %.0f, \"wall_s_per_sim_s\": %.4f, "
                  "\"events\": %llu, \"requests\": %llu, "
-                 "\"allocs_per_request\": %.2f}%s\n",
+                 "\"allocs_per_request\": %.2f, "
+                 "\"latency\": {\"count\": %llu, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}}%s\n",
                  kMixNames[i], runs[i].numbers.events_per_sec,
                  runs[i].numbers.requests_per_sec,
                  runs[i].numbers.wall_per_sim_second,
                  static_cast<unsigned long long>(runs[i].events),
                  static_cast<unsigned long long>(runs[i].requests),
-                 runs[i].allocs_per_request, i < 2 ? "," : "");
+                 runs[i].allocs_per_request,
+                 static_cast<unsigned long long>(runs[i].latency.count),
+                 static_cast<double>(runs[i].latency.p50_us) / 1e3,
+                 static_cast<double>(runs[i].latency.p95_us) / 1e3,
+                 static_cast<double>(runs[i].latency.p99_us) / 1e3,
+                 static_cast<double>(runs[i].latency.max_us) / 1e3,
+                 i < 2 ? "," : "");
   }
   std::fprintf(out, "    ]\n  },\n");
   std::fprintf(out, "  \"after_batched\": {\n");
@@ -402,6 +441,8 @@ void write_json(double zipf_rate, double lru_rate, double queue_rate,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path = bench::string_flag(argc, argv, "--metrics");
+  const std::string trace_path = bench::string_flag(argc, argv, "--trace");
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -436,7 +477,12 @@ int main(int argc, char** argv) {
                                                tpcw::WorkloadKind::kOrdering};
   static const char* kNames[3] = {"Browsing", "Shopping", "Ordering"};
   for (int i = 0; i < 3; ++i) {
-    runs[i] = run_cluster(kKinds[i], warmup_s, measure_s);
+    // Telemetry opt-ins attach to the Shopping run (the canonical mix).
+    const bool telemetry = i == 1;
+    runs[i] = run_cluster(kKinds[i], warmup_s, measure_s,
+                          /*nic_batching=*/false,
+                          telemetry ? metrics_path : std::string(),
+                          telemetry ? trace_path : std::string());
     print_end_to_end(kNames[i], runs[i]);
   }
 

@@ -77,6 +77,28 @@ std::size_t threads_flag(int& argc, char** argv) {
   return threads;
 }
 
+std::string string_flag(int& argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", name);
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+      value = arg + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
+}
+
 void fan_out(std::size_t threads, std::size_t n,
              const std::function<void(std::size_t)>& fn) {
   if (threads == 1) {

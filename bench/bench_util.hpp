@@ -39,6 +39,12 @@ inline constexpr int kBrowsersPerLine = 530;
 /// identical at any thread count.
 std::size_t threads_flag(int& argc, char** argv);
 
+/// Extracts a string-valued `--name VALUE` / `--name=VALUE` flag from argv
+/// (removing it, like threads_flag).  Returns the empty string when the
+/// flag is absent.  Used for the telemetry opt-ins: `--metrics <path>`
+/// (registry snapshot) and `--trace <path>` (span CSV).
+std::string string_flag(int& argc, char** argv, const char* name);
+
 /// Runs fn(0) .. fn(n-1): in order on the calling thread when threads == 1,
 /// otherwise fanned out over a pool of `threads` workers (0 = hardware
 /// concurrency).  Callers pass independent cells only, so results are the

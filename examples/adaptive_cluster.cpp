@@ -11,7 +11,14 @@
 // timeouts and proxy retry/serve-stale degradation switch on, and the tuner
 // discards measurement windows that overlapped a disturbance.
 //
+// With --metrics <path> the full registry snapshot (every counter, gauge
+// and latency histogram the SystemModel registers) is written as JSON when
+// the run ends; --trace <path> records per-request proxy/app/db spans and
+// writes them as CSV.  Both are opt-in and passive: runs with and without
+// them are byte-identical on stdout.
+//
 // Usage: adaptive_cluster [iterations] [check_every] [--faults <plan>]
+//                         [--metrics <path>] [--trace <path>]
 // Example: adaptive_cluster 60 10 --faults "crash:5@400; restart:5@900"
 #include <cstdio>
 #include <string>
@@ -20,6 +27,7 @@
 #include "core/reconfig_controller.hpp"
 #include "core/system_model.hpp"
 #include "core/tuning_driver.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "tpcw/mix.hpp"
 
@@ -28,6 +36,8 @@ int main(int argc, char** argv) {
   std::size_t iterations = 60;
   std::size_t check_every = 10;
   std::string fault_text;
+  std::string metrics_path;
+  std::string trace_path;
   std::size_t positional = 0;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -37,6 +47,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       fault_text = argv[++a];
+    } else if (arg == "--metrics") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--metrics needs a path argument\n");
+        return 1;
+      }
+      metrics_path = argv[++a];
+    } else if (arg == "--trace") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a path argument\n");
+        return 1;
+      }
+      trace_path = argv[++a];
     } else if (positional == 0) {
       iterations = std::stoul(arg);
       ++positional;
@@ -53,6 +75,11 @@ int main(int argc, char** argv) {
   core::SystemModel::Config system_config;
   system_config.lines = {core::SystemModel::LineSpec{4, 2, 3}};
   core::SystemModel system(sim, system_config);
+
+  // Sample every 8th request: plenty of spans over a long demo without the
+  // ring discarding all but the final iterations.
+  obs::TraceRecorder trace(/*every_nth=*/8);
+  if (!trace_path.empty()) system.set_trace_recorder(&trace);
 
   if (!fault_text.empty()) {
     std::string error;
@@ -113,6 +140,20 @@ int main(int argc, char** argv) {
   if (!fault_text.empty()) {
     std::printf("%llu measurement windows discarded after disturbances.\n",
                 static_cast<unsigned long long>(discarded));
+  }
+  if (!metrics_path.empty()) {
+    if (!system.metrics().write_json(metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics snapshot: %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!trace.write_csv(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "span trace: %s\n", trace_path.c_str());
   }
   return 0;
 }

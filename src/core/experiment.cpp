@@ -73,6 +73,16 @@ IterationResult Experiment::run_iteration() {
     latency_weight += static_cast<double>(meter->completed_ok());
   }
   if (latency_weight > 0.0) result.mean_latency_ms /= latency_weight;
+  // Percentiles need the full distribution, so merge the per-line window
+  // histograms (bucket-wise sums — cheap, cold path, once per iteration).
+  obs::Histogram window;
+  for (const auto& meter : meters_) window.merge(meter->latency_histogram());
+  if (window.count() > 0) {
+    result.p50_ms = static_cast<double>(window.p50_us()) / 1e3;
+    result.p95_ms = static_cast<double>(window.p95_us()) / 1e3;
+    result.p99_ms = static_cast<double>(window.p99_us()) / 1e3;
+    result.max_ms = static_cast<double>(window.max_us()) / 1e3;
+  }
   const std::uint64_t total = ok_total + err_total;
   result.error_ratio =
       total > 0 ? static_cast<double>(err_total) / static_cast<double>(total)

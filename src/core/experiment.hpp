@@ -39,6 +39,13 @@ struct IterationResult {
   double wips_order = 0.0;
   double error_ratio = 0.0;  // weighted over lines
   double mean_latency_ms = 0.0;
+  /// Exact-rank latency percentiles over all lines' in-window successful
+  /// completions (merged per-line histograms; see obs::Histogram).  Zero
+  /// when nothing completed in the window.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
   std::vector<double> line_wips;  // per work line
   /// True when a fault event or health transition fired inside the
   /// warm-up/measure/cool-down window — the WIPS figure then reflects the

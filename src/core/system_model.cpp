@@ -72,6 +72,14 @@ SystemModel::SystemModel(sim::Simulator& sim, const Config& config)
       create_node(li, TierKind::kDb, config);
     }
   }
+  // lines_ is final now; the hop histograms live inside the Line structs,
+  // so the router pointers are only wired once the vector stops moving.
+  for (Line& line : lines_) {
+    line.frontend->set_hop_histogram(&line.frontend_latency);
+    line.app_router->set_hop_histogram(&line.app_hop_latency);
+    line.db_router->set_hop_histogram(&line.db_hop_latency);
+  }
+  register_metrics();
   monitor_->start();
 }
 
@@ -296,6 +304,11 @@ void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
       common::log_info("health", "node{} marked {}", id, up ? "up" : "down");
     });
     health_->start();
+    // First enable: the health counters join the registry (PR-5 migration).
+    metrics_.add_counter("health.probes_sent",
+                         [this] { return health_->probes_sent(); });
+    metrics_.add_counter("health.transitions",
+                         [this] { return health_->transitions(); });
   }
   for (Line& line : lines_) {
     line.frontend->set_hop_timeout(config.hop_timeout);
@@ -390,6 +403,176 @@ void SystemModel::set_node_fail_slow(NodeId id, double factor) {
   ++disturbances_;
   node.set_fault_slowdown(factor);
   common::log_info("fault", "node{} fail-slow x{}", id, factor);
+}
+
+void SystemModel::set_trace_recorder(obs::TraceRecorder* trace) {
+  for (NodeState& state : nodes_) {
+    state.proxy->set_trace(trace);
+    state.app->set_trace(trace);
+    state.db->set_trace(trace);
+  }
+}
+
+void SystemModel::register_metrics() {
+  // Network fabric (absorbs the PR-6 NIC batching counters).
+  metrics_.add_counter("network.messages_sent",
+                       [this] { return network_->messages_sent(); });
+  metrics_.add_counter("network.messages_dropped",
+                       [this] { return network_->messages_dropped(); });
+  metrics_.add_counter("network.bytes_sent", [this] {
+    const common::Bytes bytes = network_->bytes_sent();
+    return bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0u;
+  });
+  metrics_.add_counter("network.batches_coalesced",
+                       [this] { return network_->batches_coalesced(); });
+  metrics_.add_counter("network.messages_batched",
+                       [this] { return network_->messages_batched(); });
+
+  // Event scheduler: executed work plus the calendar queue's lazy-cancel
+  // debt (stored - live slots awaiting reclamation).
+  metrics_.add_counter("scheduler.events_executed",
+                       [this] { return sim_.events_executed(); });
+  metrics_.add_counter("scheduler.pending_events", [this] {
+    return static_cast<std::uint64_t>(sim_.pending_events());
+  });
+  metrics_.add_counter("scheduler.stored_events", [this] {
+    return static_cast<std::uint64_t>(sim_.stored_events());
+  });
+
+  // Router degradation counters, aggregated over lines (PR-5).
+  metrics_.add_counter("routers.timeouts", [this] {
+    std::uint64_t total = 0;
+    for (const Line& line : lines_) {
+      total += line.frontend->stats().timeouts +
+               line.app_router->stats().timeouts +
+               line.db_router->stats().timeouts;
+    }
+    return total;
+  });
+  metrics_.add_counter("routers.fast_fails", [this] {
+    std::uint64_t total = 0;
+    for (const Line& line : lines_) {
+      total += line.frontend->stats().fast_fails +
+               line.app_router->stats().fast_fails +
+               line.db_router->stats().fast_fails;
+    }
+    return total;
+  });
+
+  // Server stats, aggregated over nodes.  Helper sums one Stats field.
+  const auto proxy_sum =
+      [this](std::uint64_t webstack::ProxyServer::Stats::*field) {
+        std::uint64_t total = 0;
+        for (const NodeState& state : nodes_) total += state.proxy->stats().*field;
+        return total;
+      };
+  using ProxyStats = webstack::ProxyServer::Stats;
+  metrics_.add_counter("proxy.served",
+                       [proxy_sum] { return proxy_sum(&ProxyStats::served); });
+  metrics_.add_counter("proxy.mem_hits", [proxy_sum] {
+    return proxy_sum(&ProxyStats::mem_hits);
+  });
+  metrics_.add_counter("proxy.disk_hits", [proxy_sum] {
+    return proxy_sum(&ProxyStats::disk_hits);
+  });
+  metrics_.add_counter("proxy.misses_forwarded", [proxy_sum] {
+    return proxy_sum(&ProxyStats::misses_forwarded);
+  });
+  metrics_.add_counter("proxy.errors",
+                       [proxy_sum] { return proxy_sum(&ProxyStats::errors); });
+  metrics_.add_counter("proxy.upstream_retries", [proxy_sum] {
+    return proxy_sum(&ProxyStats::upstream_retries);
+  });
+  metrics_.add_counter("proxy.stale_served", [proxy_sum] {
+    return proxy_sum(&ProxyStats::stale_served);
+  });
+
+  const auto app_sum =
+      [this](std::uint64_t webstack::AppServer::Stats::*field) {
+        std::uint64_t total = 0;
+        for (const NodeState& state : nodes_) total += state.app->stats().*field;
+        return total;
+      };
+  using AppStats = webstack::AppServer::Stats;
+  metrics_.add_counter("app.served",
+                       [app_sum] { return app_sum(&AppStats::served); });
+  metrics_.add_counter("app.rejected_http", [app_sum] {
+    return app_sum(&AppStats::rejected_http);
+  });
+  metrics_.add_counter("app.rejected_ajp", [app_sum] {
+    return app_sum(&AppStats::rejected_ajp);
+  });
+  metrics_.add_counter("app.db_queries",
+                       [app_sum] { return app_sum(&AppStats::db_queries); });
+  metrics_.add_counter("app.threads_spawned", [app_sum] {
+    return app_sum(&AppStats::threads_spawned);
+  });
+  metrics_.add_counter("app.refused",
+                       [app_sum] { return app_sum(&AppStats::refused); });
+
+  const auto db_sum = [this](std::uint64_t webstack::DbServer::Stats::*field) {
+    std::uint64_t total = 0;
+    for (const NodeState& state : nodes_) total += state.db->stats().*field;
+    return total;
+  };
+  using DbStats = webstack::DbServer::Stats;
+  metrics_.add_counter("db.queries",
+                       [db_sum] { return db_sum(&DbStats::queries); });
+  metrics_.add_counter("db.table_cache_misses", [db_sum] {
+    return db_sum(&DbStats::table_cache_misses);
+  });
+  metrics_.add_counter("db.binlog_flushes", [db_sum] {
+    return db_sum(&DbStats::binlog_flushes);
+  });
+  metrics_.add_counter("db.delayed_batches", [db_sum] {
+    return db_sum(&DbStats::delayed_batches);
+  });
+
+  // Pool occupancy (gauges over int accessors — instantaneous values).
+  metrics_.add_gauge("pools.app_http.in_use", [this] {
+    int total = 0;
+    for (const NodeState& state : nodes_) total += state.app->http_pool().in_use();
+    return static_cast<double>(total);
+  });
+  metrics_.add_gauge("pools.app_ajp.in_use", [this] {
+    int total = 0;
+    for (const NodeState& state : nodes_) total += state.app->ajp_pool().in_use();
+    return static_cast<double>(total);
+  });
+  metrics_.add_gauge("pools.db_connections.in_use", [this] {
+    int total = 0;
+    for (const NodeState& state : nodes_) {
+      total += state.db->connections().in_use();
+    }
+    return static_cast<double>(total);
+  });
+  metrics_.add_gauge("pools.db_executors.in_use", [this] {
+    int total = 0;
+    for (const NodeState& state : nodes_) total += state.db->executors().in_use();
+    return static_cast<double>(total);
+  });
+
+  // Utilization monitor: sample count plus every probe's EWMA.
+  metrics_.add_counter("monitor.samples_taken",
+                       [this] { return monitor_->samples_taken(); });
+  for (std::size_t i = 0; i < monitor_->probe_count(); ++i) {
+    metrics_.add_gauge("util." + monitor_->probe_name(i),
+                       [this, i] { return monitor_->smoothed(i); });
+  }
+
+  metrics_.add_counter("faults.disturbances",
+                       [this] { return disturbances_; });
+
+  // Per-line latency distributions.
+  for (std::size_t li = 0; li < lines_.size(); ++li) {
+    const std::string prefix = "line" + std::to_string(li);
+    metrics_.add_histogram(prefix + ".frontend_latency",
+                           &lines_[li].frontend_latency);
+    metrics_.add_histogram(prefix + ".app_hop_latency",
+                           &lines_[li].app_hop_latency);
+    metrics_.add_histogram(prefix + ".db_hop_latency",
+                           &lines_[li].db_hop_latency);
+  }
 }
 
 std::vector<harmony::NodeReading> SystemModel::readings() {

@@ -26,6 +26,9 @@
 #include "cluster/load_balancer.hpp"
 #include "cluster/network.hpp"
 #include "harmony/reconfig.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/monitor.hpp"
 #include "sim/simulator.hpp"
@@ -165,6 +168,31 @@ class SystemModel {
     return disturbances_;
   }
 
+  // -- Observability ------------------------------------------------------
+  /// Unified pull-based metrics registry over this model: network,
+  /// scheduler, router, server, pool, monitor and health counters plus the
+  /// per-line latency histograms, all registered at construction.
+  /// Snapshotting is on demand (cold path); nothing is pushed during
+  /// simulation, so the registry is invisible to the timeline.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+
+  /// Attaches (nullptr: detaches) a span recorder to every server of every
+  /// node.  Off by default; sampling inside the recorder is sequence-based.
+  void set_trace_recorder(obs::TraceRecorder* trace);
+
+  /// Per-line latency histograms, always recording (passive observation):
+  /// frontend = full client round trip, app/db = tier hop including both
+  /// network legs and backend service.
+  [[nodiscard]] const obs::Histogram& frontend_latency(std::size_t line) const {
+    return lines_.at(line).frontend_latency;
+  }
+  [[nodiscard]] const obs::Histogram& app_hop_latency(std::size_t line) const {
+    return lines_.at(line).app_hop_latency;
+  }
+  [[nodiscard]] const obs::Histogram& db_hop_latency(std::size_t line) const {
+    return lines_.at(line).db_hop_latency;
+  }
+
   // -- Monitoring ---------------------------------------------------------
   [[nodiscard]] sim::UtilizationMonitor& monitor() { return *monitor_; }
   /// Snapshot of per-node readings for harmony::Reconfigurer, using the
@@ -192,6 +220,11 @@ class SystemModel {
     std::unique_ptr<webstack::FrontendRouter> frontend;
     std::unique_ptr<webstack::AppTierRouter> app_router;
     std::unique_ptr<webstack::DbTierRouter> db_router;
+    /// Hop-latency histograms fed by the routers (wired after lines_ is
+    /// final — the histograms live inside this struct).
+    obs::Histogram frontend_latency;
+    obs::Histogram app_hop_latency;
+    obs::Histogram db_hop_latency;
   };
 
   cluster::NodeId create_node(std::size_t line, cluster::TierKind tier,
@@ -205,6 +238,8 @@ class SystemModel {
   void apply_fault(const sim::FaultEvent& event);
   /// set_active(on/off) for the role matching the node's current tier.
   void set_role_active(NodeState& state, bool active);
+  /// Registers every pull source with metrics_ (end of construction).
+  void register_metrics();
 
   sim::Simulator& sim_;
   Config config_;
@@ -215,6 +250,7 @@ class SystemModel {
   std::vector<NodeState> nodes_;
   std::unique_ptr<cluster::HealthChecker> health_;
   std::unique_ptr<sim::FaultInjector> injector_;
+  obs::Registry metrics_;
   std::uint64_t disturbances_ = 0;
 };
 

@@ -1,0 +1,28 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace ah::obs {
+
+std::uint64_t Histogram::percentile_us(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 1.0) return max_us_;
+  if (q < 0.0) q = 0.0;
+  // Exact-rank: the value at sorted position ceil(q * count), 1-based.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  const std::size_t last = bucket_index(max_us_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= last; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // The highest occupied bucket contains the maximum; report it exactly
+      // rather than the bucket's lower bound.
+      return i == last ? max_us_ : bucket_low_us(i);
+    }
+  }
+  return max_us_;
+}
+
+}  // namespace ah::obs

@@ -1,0 +1,164 @@
+// Fixed-size log-linear latency histogram (HDR-histogram style).
+//
+// Values are integer microseconds — the simulator's native time unit — so
+// recording is a pure array increment: compute a bucket index from the bit
+// width of the value, bump a counter.  No floating point, no allocation, no
+// RNG, no events.  That is what lets histograms stay recording even on runs
+// whose golden outputs must remain byte-identical: observation is passive.
+//
+// Bucket layout: 2^kSubBits (= 32) linear sub-buckets per power-of-two
+// octave.  Group 0 covers [0, 32) exactly (one bucket per microsecond);
+// group g >= 1 covers [32 * 2^(g-1), 32 * 2^g) in 32 equal sub-buckets, so
+// relative bucket width is bounded by 1/32 ≈ 3.1% everywhere.  Group g's
+// buckets start at index (g + 1) * 32 — the branch-free index formula leaves
+// slots [32, 64) unused — so the full 64-bit range (groups 0..59) needs
+// 61 * 32 = 1952 buckets (~15 KiB of counters), allocated once at
+// construction; recording never allocates.
+//
+// Percentiles use the exact-rank method: rank = ceil(q * count), walk the
+// buckets accumulating counts, report the lower bound of the bucket that
+// contains the rank (exact for values < 32 us; within one sub-bucket width
+// otherwise).  The maximum is tracked exactly on the side.  Identical
+// record sequences therefore produce identical percentiles on every
+// platform and at every thread count.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ah::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;          // 32
+  static constexpr int kGroups = 64 - kSubBits;              // 59 + group 0
+  /// Highest index is for group kGroups, sub kSubBuckets-1:
+  /// kGroups * 32 + (32 - 1) + 32, hence the + 2 (slots [32, 64) go unused
+  /// so that bucket_index stays branch-free).
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kGroups + 2) * kSubBuckets;   // 1952
+
+  /// Allocates the counter slab once; recording is allocation-free.
+  Histogram() : counts_(kBucketCount, 0) {}
+
+  /// Records one value in integer microseconds.  Hot path: in
+  /// AH_HOT_PATH_FILE files call through AH_OBS_RECORD_US, never directly
+  /// (enforced by ah_lint rule obs_hot_path).
+  void record_us(std::uint64_t us) {
+    counts_[bucket_index(us)] += 1;
+    ++count_;
+    sum_us_ += us;
+    if (us > max_us_) max_us_ = us;
+    if (us < min_us_) min_us_ = us;
+  }
+
+  /// Convenience for SimTime spans (negative spans clamp to zero).
+  void record(common::SimTime span) {
+    const std::int64_t us = span.as_micros();
+    record_us(us > 0 ? static_cast<std::uint64_t>(us) : 0u);
+  }
+
+  /// Clears all counters; capacity (the slab) is retained.
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0u);
+    count_ = 0;
+    sum_us_ = 0;
+    max_us_ = 0;
+    min_us_ = ~0ull;
+  }
+
+  /// Adds another histogram's counts into this one (bucket-wise).  Used to
+  /// combine per-line meters into one per-iteration distribution.
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+    if (other.count_ > 0) {
+      if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+      if (other.min_us_ < min_us_) min_us_ = other.min_us_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum_us() const { return sum_us_; }
+  /// Exact maximum recorded value (0 when empty).
+  [[nodiscard]] std::uint64_t max_us() const {
+    return count_ > 0 ? max_us_ : 0;
+  }
+  /// Exact minimum recorded value (0 when empty).
+  [[nodiscard]] std::uint64_t min_us() const {
+    return count_ > 0 ? min_us_ : 0;
+  }
+  [[nodiscard]] double mean_us() const {
+    return count_ > 0
+               ? static_cast<double>(sum_us_) / static_cast<double>(count_)
+               : 0.0;
+  }
+
+  /// Exact-rank percentile, q in [0, 1]: the lower bound of the bucket
+  /// holding sample number ceil(q * count) in sorted order.  q >= 1 (or a
+  /// rank landing in the last occupied bucket) reports the exact maximum.
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] std::uint64_t percentile_us(double q) const;
+
+  [[nodiscard]] std::uint64_t p50_us() const { return percentile_us(0.50); }
+  [[nodiscard]] std::uint64_t p95_us() const { return percentile_us(0.95); }
+  [[nodiscard]] std::uint64_t p99_us() const { return percentile_us(0.99); }
+
+  /// Lowest value that maps to bucket `i` — the reported representative.
+  /// Inverts bucket_index: group g's buckets sit at base (g + 1) * 32, so
+  /// the group is recovered as (i >> kSubBits) - 1.
+  [[nodiscard]] static std::uint64_t bucket_low_us(std::size_t i) {
+    const std::uint64_t igroup = i >> kSubBits;  // = group + 1 for group >= 1
+    const std::uint64_t sub = i & (kSubBuckets - 1);
+    if (igroup <= 1) return sub;  // group 0 (and the unused [32, 64) slots)
+    return (static_cast<std::uint64_t>(kSubBuckets) + sub) << (igroup - 2);
+  }
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t us) {
+    if (us < kSubBuckets) return static_cast<std::size_t>(us);
+    const int width = 64 - std::countl_zero(us);  // >= kSubBits + 1
+    const int group = width - kSubBits;
+    const std::uint64_t sub =
+        (us >> (group - 1)) - static_cast<std::uint64_t>(kSubBuckets);
+    return static_cast<std::size_t>(group) * kSubBuckets +
+           static_cast<std::size_t>(sub) + kSubBuckets;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_us_ = 0;
+  std::uint64_t max_us_ = 0;
+  std::uint64_t min_us_ = ~0ull;
+};
+
+}  // namespace ah::obs
+
+/// Null-checked histogram record for hot-path files.  The macro spelling is
+/// what ah_lint's obs_hot_path rule recognises as the approved alloc-free
+/// form; a direct `->record_us(...)` in an AH_HOT_PATH_FILE file is a lint
+/// finding.  `hist` is a (possibly null) ah::obs::Histogram*.
+#define AH_OBS_RECORD_US(hist, us)                 \
+  do {                                             \
+    ::ah::obs::Histogram* ah_obs_h_ = (hist);      \
+    if (ah_obs_h_ != nullptr) ah_obs_h_->record_us(us); \
+  } while (false)
+
+/// SimTime-span variant of AH_OBS_RECORD_US.
+#define AH_OBS_RECORD_SPAN(hist, span)             \
+  do {                                             \
+    ::ah::obs::Histogram* ah_obs_h_ = (hist);      \
+    if (ah_obs_h_ != nullptr) ah_obs_h_->record(span); \
+  } while (false)

@@ -1,0 +1,114 @@
+#include "obs/registry.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+
+namespace ah::obs {
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void Registry::add_counter(std::string name, CounterFn pull) {
+  counters_.push_back({std::move(name), std::move(pull)});
+}
+
+void Registry::add_gauge(std::string name, GaugeFn pull) {
+  gauges_.push_back({std::move(name), std::move(pull)});
+}
+
+void Registry::add_histogram(std::string name, const Histogram* histogram) {
+  histograms_.push_back({std::move(name), histogram});
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  for (const Counter& c : counters_) {
+    if (c.name == name) return c.pull();
+  }
+  return 0;
+}
+
+std::string Registry::json_string() const {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    append_fmt(out, "%s\n    \"%s\": %" PRIu64, i == 0 ? "" : ",",
+               counters_[i].name.c_str(), counters_[i].pull());
+  }
+  out += counters_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    append_fmt(out, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+               gauges_[i].name.c_str(), gauges_[i].pull());
+  }
+  out += gauges_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = *histograms_[i].histogram;
+    append_fmt(out,
+               "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"min_us\": %" PRIu64
+               ", \"mean_us\": %.3f, \"p50_us\": %" PRIu64
+               ", \"p95_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
+               ", \"max_us\": %" PRIu64 "}",
+               i == 0 ? "" : ",", histograms_[i].name.c_str(), h.count(),
+               h.min_us(), h.mean_us(), h.p50_us(), h.p95_us(), h.p99_us(),
+               h.max_us());
+  }
+  out += histograms_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Registry::csv_string() const {
+  std::string out = "metric,value\n";
+  for (const Counter& c : counters_) {
+    append_fmt(out, "%s,%" PRIu64 "\n", c.name.c_str(), c.pull());
+  }
+  for (const Gauge& g : gauges_) {
+    append_fmt(out, "%s,%.6f\n", g.name.c_str(), g.pull());
+  }
+  for (const Hist& h : histograms_) {
+    const Histogram& hist = *h.histogram;
+    append_fmt(out, "%s.count,%" PRIu64 "\n", h.name.c_str(), hist.count());
+    append_fmt(out, "%s.min_us,%" PRIu64 "\n", h.name.c_str(), hist.min_us());
+    append_fmt(out, "%s.mean_us,%.3f\n", h.name.c_str(), hist.mean_us());
+    append_fmt(out, "%s.p50_us,%" PRIu64 "\n", h.name.c_str(), hist.p50_us());
+    append_fmt(out, "%s.p95_us,%" PRIu64 "\n", h.name.c_str(), hist.p95_us());
+    append_fmt(out, "%s.p99_us,%" PRIu64 "\n", h.name.c_str(), hist.p99_us());
+    append_fmt(out, "%s.max_us,%" PRIu64 "\n", h.name.c_str(), hist.max_us());
+  }
+  return out;
+}
+
+namespace {
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), out);
+  const bool closed = std::fclose(out) == 0;
+  return written == text.size() && closed;
+}
+
+}  // namespace
+
+bool Registry::write_json(const std::string& path) const {
+  return write_text(path, json_string());
+}
+
+bool Registry::write_csv(const std::string& path) const {
+  return write_text(path, csv_string());
+}
+
+}  // namespace ah::obs

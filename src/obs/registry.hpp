@@ -1,0 +1,89 @@
+// Unified pull-based metrics registry.
+//
+// Components register named sources once at wiring time; the registry pulls
+// current values only when a snapshot is requested.  Nothing is pushed on
+// the hot path, no events are scheduled, and the simulation cannot observe
+// whether a registry exists — which is the passivity argument: runs with
+// and without `--metrics` are byte-identical because the registry's only
+// interaction with the system is reading counters that were being
+// maintained anyway.
+//
+// Determinism of the snapshot itself: sources are emitted in registration
+// order (a vector, not a map), values are printed with fixed formats
+// (integers as-is, doubles with fixed precision), and every value pulled is
+// itself deterministic at any thread count.  Hence `metrics.json` is
+// byte-identical across `--threads 1/2/8`.
+//
+// The registry is cold-path by construction, so it is allowed what the hot
+// path is not: std::function, std::string, allocation at registration and
+// snapshot time.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace ah::obs {
+
+class Registry {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  /// Registers a monotonic (or at least integer-valued) source, e.g.
+  /// messages_sent, health transitions, pool occupancy.
+  void add_counter(std::string name, CounterFn pull);
+
+  /// Registers a real-valued source, e.g. an EWMA utilization reading.
+  void add_gauge(std::string name, GaugeFn pull);
+
+  /// Registers a histogram by pointer; the snapshot reports
+  /// count/min/mean/p50/p95/p99/max.  The histogram must outlive the
+  /// registry (they are owned by the components being observed).
+  void add_histogram(std::string name, const Histogram* histogram);
+
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
+  [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }
+  [[nodiscard]] std::size_t histogram_count() const {
+    return histograms_.size();
+  }
+
+  /// Pulls one counter by name (test/inspection convenience); returns 0
+  /// when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Full snapshot as a JSON document (registration order, fixed formats).
+  [[nodiscard]] std::string json_string() const;
+
+  /// Writes json_string() to `path`.  Returns false on I/O error.
+  [[nodiscard]] bool write_json(const std::string& path) const;
+
+  /// Flat CSV snapshot: `metric,value` rows, histograms expanded into
+  /// .count/.min_us/.mean_us/.p50_us/.p95_us/.p99_us/.max_us rows.
+  [[nodiscard]] std::string csv_string() const;
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+
+ private:
+  struct Counter {
+    std::string name;
+    CounterFn pull;
+  };
+  struct Gauge {
+    std::string name;
+    GaugeFn pull;
+  };
+  struct Hist {
+    std::string name;
+    const Histogram* histogram;
+  };
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Hist> histograms_;
+};
+
+}  // namespace ah::obs

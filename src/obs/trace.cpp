@@ -1,0 +1,53 @@
+#include "obs/trace.hpp"
+
+namespace ah::obs {
+
+const char* hop_name(Hop hop) {
+  switch (hop) {
+    case Hop::kProxy:
+      return "proxy";
+    case Hop::kApp:
+      return "app";
+    case Hop::kDb:
+      return "db";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::uint64_t every_nth, std::size_t capacity)
+    : every_nth_(every_nth > 0 ? every_nth : 1),
+      slab_(capacity > 0 ? capacity : 1) {}
+
+const Span& TraceRecorder::span(std::size_t i) const {
+  const std::size_t n = size();
+  // With a full ring, the oldest surviving span sits at next_.
+  const std::size_t base = recorded_ > n ? next_ : 0;
+  return slab_[(base + i) % slab_.size()];
+}
+
+void TraceRecorder::write_csv(std::FILE* out) const {
+  std::fprintf(out,
+               "request_id,hop,node,enqueue_us,start_us,complete_us,"
+               "queue_wait_us,service_us\n");
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Span& s = span(i);
+    const long long enq = static_cast<long long>(s.enqueue.as_micros());
+    const long long start = static_cast<long long>(s.start.as_micros());
+    const long long complete = static_cast<long long>(s.complete.as_micros());
+    std::fprintf(out, "%llu,%s,%s,%lld,%lld,%lld,%lld,%lld\n",
+                 static_cast<unsigned long long>(s.request_id),
+                 hop_name(s.hop), s.node, enq, start, complete, start - enq,
+                 complete - start);
+  }
+}
+
+bool TraceRecorder::write_csv(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  write_csv(out);
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+}  // namespace ah::obs

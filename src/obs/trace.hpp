@@ -1,0 +1,125 @@
+// Opt-in per-request span tracing on a pooled slab.
+//
+// A span is one hop of a request's journey (proxy, application, or
+// database) with three instants: when the hop *enqueued* the work, when
+// service actually *started* (resource granted), and when it *completed*.
+// Queue wait (start - enqueue) and service time (complete - start) therefore
+// decompose exactly — the signal the SLA-control work needs to tell an
+// overloaded queue from a slow server.
+//
+// Determinism and passivity:
+//   * Sampling is by request sequence number — a request is traced iff
+//     `id % every_nth == 0` — never by RNG, so the same run traces the same
+//     requests at any thread count and tracing perturbs nothing.
+//   * The span slab is allocated once at construction and reused as a ring:
+//     when full, the oldest spans are overwritten.  Recording a span is a
+//     few stores into the slab; no allocation, no events, no clock reads.
+//   * Servers record through AH_OBS_TRACE_SPAN, which checks the recorder
+//     pointer and the sampling predicate before touching anything; with
+//     tracing off (null recorder) the macro is a single branch.
+//
+// Export is CSV (cold path): one row per span, in record order (oldest
+// surviving span first), with queue-wait and service-time columns derived
+// from the instants.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ah::obs {
+
+/// Which tier produced a span.
+enum class Hop : std::uint8_t { kProxy = 0, kApp = 1, kDb = 2 };
+
+[[nodiscard]] const char* hop_name(Hop hop);
+
+/// One recorded hop of a traced request.  `node` points at the stable name
+/// string owned by the cluster::Node (nodes outlive the recorder's export).
+struct Span {
+  std::uint64_t request_id = 0;
+  const char* node = "";
+  Hop hop = Hop::kProxy;
+  common::SimTime enqueue = common::SimTime::zero();
+  common::SimTime start = common::SimTime::zero();
+  common::SimTime complete = common::SimTime::zero();
+};
+
+class TraceRecorder {
+ public:
+  /// `every_nth`: trace requests whose id is divisible by it (>= 1; 1 means
+  /// every request).  `capacity`: span slab size; the ring keeps the most
+  /// recent `capacity` spans.
+  explicit TraceRecorder(std::uint64_t every_nth = 1,
+                         std::size_t capacity = 1 << 16);
+
+  /// Sequence-based sampling predicate; no RNG by design (see file comment).
+  [[nodiscard]] bool sampled(std::uint64_t request_id) const {
+    return request_id % every_nth_ == 0;
+  }
+
+  /// Appends a span to the ring.  Alloc-free; hot-path files must call
+  /// through AH_OBS_TRACE_SPAN (ah_lint rule obs_hot_path).
+  void record_span(std::uint64_t request_id, Hop hop, const char* node,
+                   common::SimTime enqueue, common::SimTime start,
+                   common::SimTime complete) {
+    Span& s = slab_[next_];
+    s.request_id = request_id;
+    s.node = node;
+    s.hop = hop;
+    s.enqueue = enqueue;
+    s.start = start;
+    s.complete = complete;
+    next_ = (next_ + 1) % slab_.size();
+    ++recorded_;
+  }
+
+  /// Total spans ever recorded (including ones the ring has overwritten).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Spans currently held in the ring.
+  [[nodiscard]] std::size_t size() const {
+    return recorded_ < slab_.size() ? static_cast<std::size_t>(recorded_)
+                                    : slab_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return slab_.size(); }
+  [[nodiscard]] std::uint64_t every_nth() const { return every_nth_; }
+
+  /// Oldest-first view: index 0 is the oldest surviving span.
+  [[nodiscard]] const Span& span(std::size_t i) const;
+
+  void reset() {
+    next_ = 0;
+    recorded_ = 0;
+  }
+
+  /// Writes all surviving spans as CSV, oldest first.
+  /// Columns: request_id,hop,node,enqueue_us,start_us,complete_us,
+  ///          queue_wait_us,service_us
+  void write_csv(std::FILE* out) const;
+  /// Convenience: opens `path`, writes, closes.  Returns false on I/O error.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+
+ private:
+  std::uint64_t every_nth_;
+  std::vector<Span> slab_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace ah::obs
+
+/// Null-checked, sampling-gated span record for hot-path files.  The macro
+/// spelling is the approved zero-alloc form recognised by ah_lint's
+/// obs_hot_path rule; a direct `->record_span(...)` in an AH_HOT_PATH_FILE
+/// file is a lint finding.  `rec` is a (possibly null) ah::obs::TraceRecorder*.
+#define AH_OBS_TRACE_SPAN(rec, id, hop, node, enq, start, complete)       \
+  do {                                                                    \
+    ::ah::obs::TraceRecorder* ah_obs_t_ = (rec);                          \
+    if (ah_obs_t_ != nullptr && ah_obs_t_->sampled(id)) {                 \
+      ah_obs_t_->record_span((id), (hop), (node), (enq), (start),         \
+                             (complete));                                 \
+    }                                                                     \
+  } while (false)

@@ -48,6 +48,9 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.live_size(); }
+  /// Stored events including cancelled-but-unreclaimed slots — the lazy
+  /// cancellation debt the calendar queue carries (see EventQueue).
+  [[nodiscard]] std::size_t stored_events() const { return queue_.stored_size(); }
 
  private:
   EventQueue queue_;

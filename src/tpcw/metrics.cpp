@@ -9,6 +9,7 @@ void WipsMeter::arm(common::SimTime start, common::SimTime end) {
   browse_ok_ = 0;
   errors_ = 0;
   latency_ms_.reset();
+  latency_hist_.reset();
 }
 
 void WipsMeter::record(bool ok, bool browse, common::SimTime now,
@@ -21,6 +22,7 @@ void WipsMeter::record(bool ok, bool browse, common::SimTime now,
   ++ok_;
   if (browse) ++browse_ok_;
   latency_ms_.add(latency.as_millis());
+  latency_hist_.record(latency);
 }
 
 double WipsMeter::wips() const {

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/histogram.hpp"
 
 namespace ah::tpcw {
 
@@ -44,6 +45,13 @@ class WipsMeter {
     return latency_ms_;
   }
 
+  /// Full latency distribution of in-window successful completions.
+  /// Always on: recording is a counter increment (obs::Histogram), so the
+  /// meter stays passive and golden outputs are unaffected.
+  [[nodiscard]] const obs::Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
+
  private:
   common::SimTime start_ = common::SimTime::zero();
   common::SimTime end_ = common::SimTime::zero();
@@ -51,6 +59,7 @@ class WipsMeter {
   std::uint64_t browse_ok_ = 0;
   std::uint64_t errors_ = 0;
   common::RunningStats latency_ms_;
+  obs::Histogram latency_hist_;
 };
 
 }  // namespace ah::tpcw

@@ -100,9 +100,14 @@ void Workload::dispatch(std::size_t browser_index,
   auto on_response = [this, browser_index, request, retries_left, browse,
                       issued_at](const webstack::Response& response) {
     meter_.record(response.ok, browse, sim_.now(), sim_.now() - issued_at);
-    if (response.ok && wirt_ != nullptr) {
-      wirt_->record(static_cast<Interaction>(request.object_id >> 48),
-                    sim_.now() - issued_at);
+    if (response.ok) {
+      const auto interaction =
+          static_cast<Interaction>(request.object_id >> 48);
+      interaction_latency_[static_cast<std::size_t>(interaction)].record(
+          sim_.now() - issued_at);
+      if (wirt_ != nullptr) {
+        wirt_->record(interaction, sim_.now() - issued_at);
+      }
     }
     if (!response.ok && retries_left > 0 && running_) {
       // Re-request the same page after a back-off, like a user

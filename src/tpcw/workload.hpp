@@ -11,6 +11,7 @@
 // every time it is fetched (a cache would otherwise see phantom updates).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "common/object_pool.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/histogram.hpp"
 #include "sim/simulator.hpp"
 #include "tpcw/constraints.hpp"
 #include "tpcw/interactions.hpp"
@@ -73,6 +75,14 @@ class Workload {
   void set_wirt_tracker(WirtTracker* tracker) { wirt_ = tracker; }
   [[nodiscard]] const Mix* mix() const { return mix_; }
 
+  /// Latency distribution per TPC-W interaction class, over the whole run
+  /// (successful interactions only).  Always recording: a histogram record
+  /// is a counter increment, so observation stays passive.
+  [[nodiscard]] const obs::Histogram& interaction_latency(
+      Interaction interaction) const {
+    return interaction_latency_[static_cast<std::size_t>(interaction)];
+  }
+
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t interactions_issued() const { return issued_; }
 
@@ -107,6 +117,7 @@ class Workload {
   ZipfSampler item_popularity_;
   common::ObjectPool<Retry> retries_;
   std::vector<common::Rng> browser_rngs_;
+  std::array<obs::Histogram, kInteractionCount> interaction_latency_;
   WirtTracker* wirt_ = nullptr;
   bool running_ = false;
   std::uint64_t next_request_id_ = 1;

@@ -132,6 +132,8 @@ void AppServer::handle(const Request& request, ResponseFn done) {
   call->self = this;
   call->request = request;
   call->done = std::move(done);
+  call->t_enqueue = sim_.now();
+  call->t_start = call->t_enqueue;
 
   // The grant closure holds only a non-owning pointer, so when the pool
   // rejects the acquire the discarded closure leaves `call` (and its
@@ -146,6 +148,9 @@ void AppServer::handle(const Request& request, ResponseFn done) {
 }
 
 void AppServer::on_http_granted(AppCall* call) {
+  // Connector thread granted: service starts; the gap back to t_enqueue is
+  // the accept-queue wait.
+  call->t_start = sim_.now();
   const common::SimTime spawn_penalty = charge_thread_growth(
       *http_pool_, http_spawned_, params_.min_processors,
       http_thread_memory());
@@ -195,6 +200,7 @@ void AppServer::issue_queries(AppCall* call) {
 
   DbQuery query;
   query.cls = cls;
+  query.request_id = request.id;
   // TPC-W touches 8 tables; spread queries over them deterministically from
   // the request identity so the DB table-cache sees a realistic working set.
   query.table_id =
@@ -235,6 +241,9 @@ void AppServer::respond(AppCall* call) {
 void AppServer::finish(AppCall* call) {
   http_pool_->release();
   ++stats_.served;
+  AH_OBS_TRACE_SPAN(trace_, call->request.id, obs::Hop::kApp,
+                    node_.name().c_str(), call->t_enqueue, call->t_start,
+                    sim_.now());
   const Response response{true, call->origin, call->request.response_bytes};
   ResponseFn done = std::move(call->done);
   calls_.release(call);

@@ -26,6 +26,7 @@
 #include "common/analysis.hpp"
 #include "common/inline_function.hpp"
 #include "common/object_pool.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
 #include "webstack/params.hpp"
@@ -69,6 +70,10 @@ class AppServer : public Service {
 
   void handle(const Request& request, ResponseFn done) override;
 
+  /// Opt-in span tracing (null disables, the default).  Queue wait is the
+  /// gap between arrival and the HTTP connector thread grant.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   [[nodiscard]] cluster::Node& node() { return node_; }
   [[nodiscard]] const AppParams& params() const { return params_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -88,6 +93,9 @@ class AppServer : public Service {
     ResponseFn done;
     int remaining = 0;
     Response::Origin origin = Response::Origin::kApp;
+    /// Trace instants: arrival and HTTP-thread grant (service start).
+    common::SimTime t_enqueue = common::SimTime::zero();
+    common::SimTime t_start = common::SimTime::zero();
   };
 
   /// Connector I/O CPU for moving `bytes` through a `buffer_size` buffer.
@@ -122,6 +130,7 @@ class AppServer : public Service {
   int ajp_spawned_ = 0;
   common::Bytes charged_memory_ = 0;
 
+  obs::TraceRecorder* trace_ = nullptr;
   bool active_ = true;
   Stats stats_;
 };

@@ -130,6 +130,8 @@ void DbServer::execute(const DbQuery& query, DbResultFn done) {
   call->self = this;
   call->query = query;
   call->done = std::move(done);
+  call->t_enqueue = sim_.now();
+  call->t_start = call->t_enqueue;
 
   // The grant closure holds only a non-owning pointer, so a rejected
   // acquire leaves `call` intact for the rejection path below.
@@ -145,6 +147,9 @@ void DbServer::execute(const DbQuery& query, DbResultFn done) {
 }
 
 void DbServer::on_connection(DbCall* call) {
+  // Connection slot granted: service starts; the gap back to t_enqueue is
+  // the connection-queue wait.
+  call->t_start = sim_.now();
   if (active_) {
     node_.alloc_memory(per_connection_memory());
     charged_memory_ += per_connection_memory();
@@ -266,6 +271,9 @@ void DbServer::finish(DbCall* call) {
     charged_memory_ -= per_connection_memory();
   }
   connections_->release();
+  AH_OBS_TRACE_SPAN(trace_, call->query.request_id, obs::Hop::kDb,
+                    node_.name().c_str(), call->t_enqueue, call->t_start,
+                    sim_.now());
   DbResultFn done = std::move(call->done);
   calls_.release(call);
   done(DbResult{true});

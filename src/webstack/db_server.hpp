@@ -33,6 +33,7 @@
 #include "common/analysis.hpp"
 #include "common/object_pool.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_pool.hpp"
 #include "webstack/params.hpp"
@@ -66,6 +67,10 @@ class DbServer : public DbService {
 
   void execute(const DbQuery& query, DbResultFn done) override;
 
+  /// Opt-in span tracing (null disables, the default).  Queue wait is the
+  /// gap between arrival and the connection-slot grant.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   [[nodiscard]] cluster::Node& node() { return node_; }
   [[nodiscard]] const DbParams& params() const { return params_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -85,6 +90,9 @@ class DbServer : public DbService {
     DbResultFn done;
     bool is_join = false;
     bool table_miss = false;
+    /// Trace instants: arrival and connection grant (service start).
+    common::SimTime t_enqueue = common::SimTime::zero();
+    common::SimTime t_start = common::SimTime::zero();
   };
 
   [[nodiscard]] common::Bytes per_connection_memory() const;
@@ -112,6 +120,7 @@ class DbServer : public DbService {
   common::Bytes binlog_fill_ = 0;
   int delayed_pending_ = 0;
 
+  obs::TraceRecorder* trace_ = nullptr;
   bool active_ = true;
   Stats stats_;
 };

@@ -104,6 +104,8 @@ void ProxyServer::handle(const Request& request, ResponseFn done) {
   call->request = request;
   call->done = std::move(done);
   call->attempt = 0;
+  call->t_enqueue = sim_.now();
+  call->t_start = call->t_enqueue;
 
   auto after = [call] { call->self->after_lookup(call); };
   static_assert(sim::Resource::Completion::stores_inline<decltype(after)>(),
@@ -112,6 +114,9 @@ void ProxyServer::handle(const Request& request, ResponseFn done) {
 }
 
 void ProxyServer::after_lookup(ProxyCall* call) {
+  // CPU granted and lookup done: service has started.  The gap back to
+  // t_enqueue is the request's wait in the CPU run queue.
+  call->t_start = sim_.now();
   const Request& request = call->request;
   if (!request.profile->cacheable) {
     ++stats_.passthrough;
@@ -228,6 +233,9 @@ void ProxyServer::maybe_cache(const Request& request,
 void ProxyServer::finish(ProxyCall* call) {
   --inflight_;
   ++stats_.served;
+  AH_OBS_TRACE_SPAN(trace_, call->request.id, obs::Hop::kProxy,
+                    node_.name().c_str(), call->t_enqueue, call->t_start,
+                    sim_.now());
   // Release the slot before invoking the continuation: `done` may reenter
   // this proxy with a fresh request (retry loops), and the slot must be
   // reusable by then.

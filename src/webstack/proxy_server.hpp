@@ -25,6 +25,7 @@
 #include "common/analysis.hpp"
 #include "common/inline_function.hpp"
 #include "common/object_pool.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "webstack/lru_cache.hpp"
 #include "webstack/params.hpp"
@@ -85,6 +86,10 @@ class ProxyServer : public Service {
   }
   [[nodiscard]] const Resilience& resilience() const { return resilience_; }
 
+  /// Opt-in span tracing (null disables, the default).  Spans decompose
+  /// queue wait (handle() to after_lookup()) from service time.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   void handle(const Request& request, ResponseFn done) override;
 
   [[nodiscard]] cluster::Node& node() { return node_; }
@@ -107,6 +112,9 @@ class ProxyServer : public Service {
     /// Upstream forwards already failed for this request (reset per use —
     /// pool slots are recycled without re-initialisation).
     int attempt = 0;
+    /// Trace instants: arrival at the proxy and CPU-grant (service start).
+    common::SimTime t_enqueue = common::SimTime::zero();
+    common::SimTime t_start = common::SimTime::zero();
   };
 
   /// CPU demand of the request-parsing + store-index lookup step.
@@ -135,6 +143,7 @@ class ProxyServer : public Service {
   LruCache disk_cache_;
 
   Resilience resilience_;
+  obs::TraceRecorder* trace_ = nullptr;
   bool active_ = true;
   int inflight_ = 0;
   common::Bytes charged_memory_ = 0;

@@ -108,6 +108,9 @@ struct DbQuery {
   std::uint64_t table_id = 0;
   /// Result payload size.
   common::Bytes result_bytes = 2 * 1024;
+  /// Identity of the request this query belongs to, so database-hop trace
+  /// spans join up with the proxy/app spans of the same request.
+  std::uint64_t request_id = 0;
 };
 
 struct DbResult {

@@ -68,6 +68,7 @@ void AppTierRouter::route(const Request& request, cluster::Node& from,
   call->from = &from;
   call->request = request;
   call->done = std::move(done);
+  call->routed_at = network_.simulator().now();
   call->timeout_id = 0;
   const std::uint32_t gen = call->generation;
   network_.send(from, call->backend->node(), kForwardRequestBytes,
@@ -110,6 +111,8 @@ void AppTierRouter::finish(Call* call, const Response& response) {
     network_.simulator().cancel(call->timeout_id);
     call->timeout_id = 0;
   }
+  AH_OBS_RECORD_SPAN(hop_histogram_,
+                     network_.simulator().now() - call->routed_at);
   // Invalidate every outstanding continuation (late replies, the timeout),
   // then release the slot before invoking `done` — it may reenter.
   ++call->generation;
@@ -158,6 +161,7 @@ void DbTierRouter::route(const DbQuery& query, cluster::Node& from,
   call->from = &from;
   call->query = query;
   call->done = std::move(done);
+  call->routed_at = network_.simulator().now();
   call->timeout_id = 0;
   const std::uint32_t gen = call->generation;
   network_.send(from, call->backend->node(), kQueryRequestBytes, [call, gen] {
@@ -199,6 +203,8 @@ void DbTierRouter::finish(Call* call, const DbResult& result) {
     network_.simulator().cancel(call->timeout_id);
     call->timeout_id = 0;
   }
+  AH_OBS_RECORD_SPAN(hop_histogram_,
+                     network_.simulator().now() - call->routed_at);
   ++call->generation;
   DbResultFn done = std::move(call->done);
   calls_.release(call);
@@ -245,6 +251,7 @@ void FrontendRouter::route(const Request& request, ResponseFn done) {
   call->backend = backends_[pick];
   call->request = request;
   call->done = std::move(done);
+  call->routed_at = sim_.now();
   call->timeout_id = 0;
   const std::uint32_t gen = call->generation;
   sim_.schedule(client_latency_, [call, gen] {
@@ -295,6 +302,7 @@ void FrontendRouter::finish(Call* call, const Response& response) {
     sim_.cancel(call->timeout_id);
     call->timeout_id = 0;
   }
+  AH_OBS_RECORD_SPAN(hop_histogram_, sim_.now() - call->routed_at);
   ++call->generation;
   ResponseFn done = std::move(call->done);
   calls_.release(call);

@@ -27,6 +27,7 @@
 #include "common/object_pool.hpp"
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
+#include "obs/histogram.hpp"
 #include "webstack/app_server.hpp"
 #include "webstack/db_server.hpp"
 #include "webstack/proxy_server.hpp"
@@ -68,6 +69,13 @@ class AppTierRouter {
   void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
+  /// Hop-latency histogram (route() to finish(), i.e. both network legs
+  /// plus backend service).  Observation is passive: recording is a pure
+  /// counter increment, so attaching a histogram perturbs nothing.
+  void set_hop_histogram(obs::Histogram* histogram) {
+    hop_histogram_ = histogram;
+  }
+
   /// Sends `request` from node `from` to a selected backend; `done` fires
   /// with the backend's response after the return hop.  With no backends
   /// (or all of them marked down) the request fails immediately.
@@ -84,6 +92,7 @@ class AppTierRouter {
     Request request;
     ResponseFn done;
     Response response;
+    common::SimTime routed_at = common::SimTime::zero();
     std::uint32_t generation = 0;
     sim::EventId timeout_id = 0;
   };
@@ -99,6 +108,7 @@ class AppTierRouter {
   std::vector<AppServer*> backends_;
   common::ObjectPool<Call> calls_;
   common::SimTime hop_timeout_ = common::SimTime::zero();
+  obs::Histogram* hop_histogram_ = nullptr;
   RouterStats stats_;
 };
 
@@ -118,6 +128,11 @@ class DbTierRouter {
   void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
+  /// Hop-latency histogram (see AppTierRouter::set_hop_histogram).
+  void set_hop_histogram(obs::Histogram* histogram) {
+    hop_histogram_ = histogram;
+  }
+
   void route(const DbQuery& query, cluster::Node& from, DbResultFn done);
 
  private:
@@ -128,6 +143,7 @@ class DbTierRouter {
     DbQuery query;
     DbResultFn done;
     DbResult result;
+    common::SimTime routed_at = common::SimTime::zero();
     std::uint32_t generation = 0;
     sim::EventId timeout_id = 0;
   };
@@ -143,6 +159,7 @@ class DbTierRouter {
   std::vector<DbServer*> backends_;
   common::ObjectPool<Call> calls_;
   common::SimTime hop_timeout_ = common::SimTime::zero();
+  obs::Histogram* hop_histogram_ = nullptr;
   RouterStats stats_;
 };
 
@@ -165,6 +182,12 @@ class FrontendRouter {
   void set_hop_timeout(common::SimTime timeout) { hop_timeout_ = timeout; }
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
+  /// End-to-end latency histogram: route() to finish(), i.e. the full
+  /// client-observed round trip (see AppTierRouter::set_hop_histogram).
+  void set_hop_histogram(obs::Histogram* histogram) {
+    hop_histogram_ = histogram;
+  }
+
   void route(const Request& request, ResponseFn done);
 
  private:
@@ -174,6 +197,7 @@ class FrontendRouter {
     Request request;
     ResponseFn done;
     Response response;
+    common::SimTime routed_at = common::SimTime::zero();
     std::uint32_t generation = 0;
     sim::EventId timeout_id = 0;
   };
@@ -191,6 +215,7 @@ class FrontendRouter {
   std::vector<ProxyServer*> backends_;
   common::ObjectPool<Call> calls_;
   common::SimTime hop_timeout_ = common::SimTime::zero();
+  obs::Histogram* hop_histogram_ = nullptr;
   RouterStats stats_;
 };
 

@@ -1,0 +1,117 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ah::obs {
+namespace {
+
+TEST(RegistryTest, EmptyRegistrySnapshotsAreWellFormed) {
+  Registry reg;
+  EXPECT_EQ(reg.json_string(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+  EXPECT_EQ(reg.csv_string(), "metric,value\n");
+}
+
+TEST(RegistryTest, PullHappensAtSnapshotTime) {
+  Registry reg;
+  std::uint64_t value = 1;
+  reg.add_counter("calls", [&value] { return value; });
+  EXPECT_EQ(reg.counter_value("calls"), 1u);
+  value = 42;
+  EXPECT_EQ(reg.counter_value("calls"), 42u);
+  EXPECT_NE(reg.json_string().find("\"calls\": 42"), std::string::npos);
+}
+
+TEST(RegistryTest, UnknownCounterReadsZero) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("no_such_metric"), 0u);
+}
+
+TEST(RegistryTest, SnapshotPreservesRegistrationOrder) {
+  Registry reg;
+  reg.add_counter("zulu", [] { return std::uint64_t{1}; });
+  reg.add_counter("alpha", [] { return std::uint64_t{2}; });
+  const std::string json = reg.json_string();
+  EXPECT_LT(json.find("zulu"), json.find("alpha"));
+  const std::string csv = reg.csv_string();
+  EXPECT_LT(csv.find("zulu"), csv.find("alpha"));
+}
+
+TEST(RegistryTest, JsonSnapshotHasFixedFormats) {
+  Registry reg;
+  reg.add_counter("net.sent", [] { return std::uint64_t{7}; });
+  reg.add_gauge("util.cpu", [] { return 0.25; });
+  Histogram h;
+  h.record_us(10);
+  h.record_us(20);
+  reg.add_histogram("lat", &h);
+  EXPECT_EQ(reg.json_string(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"net.sent\": 7\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"util.cpu\": 0.250000\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"lat\": {\"count\": 2, \"min_us\": 10, \"mean_us\": 15.000,"
+            " \"p50_us\": 10, \"p95_us\": 20, \"p99_us\": 20, \"max_us\": 20}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RegistryTest, CsvExpandsHistograms) {
+  Registry reg;
+  Histogram h;
+  h.record_us(10);
+  reg.add_histogram("lat", &h);
+  EXPECT_EQ(reg.csv_string(),
+            "metric,value\n"
+            "lat.count,1\n"
+            "lat.min_us,10\n"
+            "lat.mean_us,10.000\n"
+            "lat.p50_us,10\n"
+            "lat.p95_us,10\n"
+            "lat.p99_us,10\n"
+            "lat.max_us,10\n");
+}
+
+TEST(RegistryTest, CountsBySourceKind) {
+  Registry reg;
+  reg.add_counter("a", [] { return std::uint64_t{0}; });
+  reg.add_counter("b", [] { return std::uint64_t{0}; });
+  reg.add_gauge("c", [] { return 0.0; });
+  Histogram h;
+  reg.add_histogram("d", &h);
+  EXPECT_EQ(reg.counter_count(), 2u);
+  EXPECT_EQ(reg.gauge_count(), 1u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
+}
+
+TEST(RegistryTest, WriteJsonRoundTrips) {
+  Registry reg;
+  reg.add_counter("x", [] { return std::uint64_t{3}; });
+  const std::string path = ::testing::TempDir() + "/registry_test_metrics.json";
+  ASSERT_TRUE(reg.write_json(path));
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  ASSERT_NE(in, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof buf, in) != nullptr) content += buf;
+  std::fclose(in);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, reg.json_string());
+}
+
+TEST(RegistryTest, WriteToUnwritablePathFails) {
+  Registry reg;
+  EXPECT_FALSE(reg.write_json("/nonexistent-dir/metrics.json"));
+  EXPECT_FALSE(reg.write_csv("/nonexistent-dir/metrics.csv"));
+}
+
+}  // namespace
+}  // namespace ah::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ah::obs {
+namespace {
+
+using common::SimTime;
+
+Span make_span(std::uint64_t id, Hop hop, std::int64_t enqueue_us) {
+  Span s;
+  s.request_id = id;
+  s.node = "n0";
+  s.hop = hop;
+  s.enqueue = SimTime::micros(enqueue_us);
+  s.start = SimTime::micros(enqueue_us + 10);
+  s.complete = SimTime::micros(enqueue_us + 35);
+  return s;
+}
+
+void record(TraceRecorder& rec, const Span& s) {
+  rec.record_span(s.request_id, s.hop, s.node, s.enqueue, s.start, s.complete);
+}
+
+TEST(TraceRecorderTest, SamplingIsSequenceBased) {
+  TraceRecorder rec(/*every_nth=*/4, /*capacity=*/16);
+  EXPECT_TRUE(rec.sampled(0));
+  EXPECT_FALSE(rec.sampled(1));
+  EXPECT_FALSE(rec.sampled(3));
+  EXPECT_TRUE(rec.sampled(4));
+  EXPECT_TRUE(rec.sampled(400));
+  EXPECT_EQ(rec.every_nth(), 4u);
+}
+
+TEST(TraceRecorderTest, DegenerateConfigIsClamped) {
+  TraceRecorder rec(/*every_nth=*/0, /*capacity=*/0);
+  EXPECT_EQ(rec.every_nth(), 1u);
+  EXPECT_EQ(rec.capacity(), 1u);
+  EXPECT_TRUE(rec.sampled(7));
+}
+
+TEST(TraceRecorderTest, RingKeepsMostRecentSpans) {
+  TraceRecorder rec(1, /*capacity=*/4);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    record(rec, make_span(id, Hop::kApp, static_cast<std::int64_t>(id) * 100));
+  }
+  EXPECT_EQ(rec.recorded(), 6u);
+  EXPECT_EQ(rec.size(), 4u);
+  // Oldest surviving span first: ids 3, 4, 5, 6.
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.span(i).request_id, i + 3) << i;
+  }
+}
+
+TEST(TraceRecorderTest, PartiallyFilledRingIsOldestFirst) {
+  TraceRecorder rec(1, /*capacity=*/8);
+  record(rec, make_span(11, Hop::kProxy, 0));
+  record(rec, make_span(12, Hop::kDb, 50));
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.span(0).request_id, 11u);
+  EXPECT_EQ(rec.span(1).request_id, 12u);
+  EXPECT_EQ(rec.span(1).hop, Hop::kDb);
+}
+
+TEST(TraceRecorderTest, ResetEmptiesButKeepsCapacity) {
+  TraceRecorder rec(1, /*capacity=*/4);
+  record(rec, make_span(1, Hop::kProxy, 0));
+  rec.reset();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  record(rec, make_span(2, Hop::kApp, 10));
+  EXPECT_EQ(rec.span(0).request_id, 2u);
+}
+
+TEST(TraceRecorderTest, HopNames) {
+  EXPECT_STREQ(hop_name(Hop::kProxy), "proxy");
+  EXPECT_STREQ(hop_name(Hop::kApp), "app");
+  EXPECT_STREQ(hop_name(Hop::kDb), "db");
+}
+
+TEST(TraceRecorderTest, CsvDerivesQueueWaitAndService) {
+  TraceRecorder rec(1, 4);
+  record(rec, make_span(5, Hop::kDb, 100));
+  const std::string path =
+      ::testing::TempDir() + "/trace_recorder_test_spans.csv";
+  ASSERT_TRUE(rec.write_csv(path));
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  ASSERT_NE(in, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof buf, in) != nullptr) content += buf;
+  std::fclose(in);
+  std::remove(path.c_str());
+  EXPECT_EQ(content,
+            "request_id,hop,node,enqueue_us,start_us,complete_us,"
+            "queue_wait_us,service_us\n"
+            "5,db,n0,100,110,135,10,25\n");
+}
+
+TEST(TraceRecorderTest, MacroGatesOnNullAndSampling) {
+  TraceRecorder* none = nullptr;
+  AH_OBS_TRACE_SPAN(none, 8, Hop::kApp, "n0", SimTime::zero(),
+                    SimTime::zero(), SimTime::zero());
+  TraceRecorder rec(/*every_nth=*/2, /*capacity=*/4);
+  AH_OBS_TRACE_SPAN(&rec, 7, Hop::kApp, "n0", SimTime::zero(),
+                    SimTime::zero(), SimTime::zero());  // 7 % 2 != 0: skipped
+  AH_OBS_TRACE_SPAN(&rec, 8, Hop::kApp, "n0", SimTime::zero(),
+                    SimTime::zero(), SimTime::zero());
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.span(0).request_id, 8u);
+}
+
+TEST(TraceRecorderTest, WriteCsvToUnwritablePathFails) {
+  TraceRecorder rec(1, 4);
+  EXPECT_FALSE(rec.write_csv("/nonexistent-dir/spans.csv"));
+}
+
+}  // namespace
+}  // namespace ah::obs

@@ -85,6 +85,53 @@ TEST_F(MonitorTest, RestartResumesSampling) {
   EXPECT_GE(monitor.samples_taken(), 4u);
 }
 
+TEST_F(MonitorTest, SampleNowInterleavesWithPeriodicSampling) {
+  // A forced sample between periodic ticks feeds the same EWMA stream and
+  // counts in samples_taken, without disturbing the periodic schedule.
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0), 0.5);
+  double value = 1.0;
+  monitor.add_probe("p", [&] { return value; });
+  monitor.start();
+  sim_.run_until(SimTime::seconds(1.5));  // one periodic tick: ewma = 1.0
+  value = 0.0;
+  monitor.sample_now();                   // forced: ewma = 0.5
+  EXPECT_EQ(monitor.samples_taken(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 0.5);
+  value = 1.0;
+  sim_.run_until(SimTime::seconds(2.5));  // next periodic tick still at t=2
+  EXPECT_EQ(monitor.samples_taken(), 3u);
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 0.75);
+}
+
+TEST_F(MonitorTest, SampleNowWorksWhileStopped) {
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0), 1.0);
+  monitor.add_probe("p", [] { return 0.6; });
+  monitor.stop();  // never started; must be harmless
+  monitor.sample_now();
+  EXPECT_EQ(monitor.samples_taken(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 0.6);
+  sim_.run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(monitor.samples_taken(), 1u);  // still no periodic sampling
+}
+
+TEST_F(MonitorTest, EwmaSurvivesStopRestart) {
+  // Readings freeze while stopped and the EWMA resumes from its frozen
+  // value — restart must not reset smoothing state.
+  UtilizationMonitor monitor(sim_, SimTime::seconds(1.0), 0.5);
+  double value = 1.0;
+  monitor.add_probe("p", [&] { return value; });
+  monitor.start();
+  sim_.run_until(SimTime::seconds(1.5));
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 1.0);
+  monitor.stop();
+  sim_.run_until(SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 1.0);  // frozen
+  value = 0.0;
+  monitor.start();
+  sim_.run_until(SimTime::seconds(11.5));  // one tick after restart
+  EXPECT_DOUBLE_EQ(monitor.smoothed(0), 0.5);  // 0.5*1.0 + 0.5*0.0
+}
+
 TEST_F(MonitorTest, DoubleStartIsIdempotent) {
   UtilizationMonitor monitor(sim_, SimTime::seconds(1.0));
   int calls = 0;

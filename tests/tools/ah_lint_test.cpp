@@ -65,6 +65,14 @@ TEST(AhLintTest, IncludeHygieneFiresExactlyOnce) {
   EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
 }
 
+TEST(AhLintTest, ObsHotPathFiresExactlyOnce) {
+  // The direct hist->record_us(...) call fires; the AH_OBS_RECORD_US macro
+  // invocation on the next line must not.
+  const RunResult result = run_lint(fixture("obs_hot_path.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[obs_hot_path]"), 1u) << result.output;
+}
+
 TEST(AhLintTest, FindingsCarryFileAndLine) {
   const RunResult result = run_lint(fixture("hot_path_alloc.cpp"));
   // `file:line: [rule]` so editors can jump to the finding.
@@ -88,13 +96,14 @@ TEST(AhLintTest, DirectoryScanAggregatesFindings) {
   EXPECT_EQ(count(result.output, "[determinism]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[pooling]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[obs_hot_path]"), 1u) << result.output;
 }
 
 TEST(AhLintTest, ListRulesNamesEveryRule) {
   const RunResult result = run_lint("--list-rules");
   EXPECT_EQ(result.exit_code, 0);
-  for (const char* rule :
-       {"hot_path_alloc", "determinism", "pooling", "include_hygiene"}) {
+  for (const char* rule : {"hot_path_alloc", "determinism", "pooling",
+                           "include_hygiene", "obs_hot_path"}) {
     EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,8 @@
+// ah_lint fixture: exactly one obs_hot_path finding (direct record call).
+// Never compiled — scanned by ah_lint_test only.
+AH_HOT_PATH_FILE;
+
+void finish(Histogram* hist, long latency_us) {
+  hist->record_us(latency_us);  // the one finding
+  AH_OBS_RECORD_US(hist, latency_us);  // macro form: allowed
+}

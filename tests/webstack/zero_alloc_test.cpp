@@ -15,6 +15,8 @@
 #include <new>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "webstack/router.hpp"
 
 namespace {
@@ -156,6 +158,55 @@ TEST_F(ZeroAllocTest, SteadyStateRequestPathDoesNotAllocate) {
   EXPECT_EQ(served, 2 * kMeasured);
   EXPECT_EQ(g_allocs.load(), 0u)
       << "steady-state requests performed heap allocations";
+}
+
+TEST_F(ZeroAllocTest, TelemetryRecordingDoesNotAllocate) {
+  // Same steady-state property with the full telemetry layer switched on:
+  // hop histograms on every router and a span recorder sampling every
+  // request.  Histogram buckets and the trace slab are sized in their
+  // constructors, so recording must be pure stores/increments.
+  RequestProfile dynamic_db;
+  dynamic_db.name = "dyn-db";
+  dynamic_db.cacheable = false;
+  dynamic_db.app_cpu = SimTime::millis(2);
+  dynamic_db.queries[0] = 2;
+  dynamic_db.queries[1] = 1;
+
+  build_cluster();
+
+  obs::Histogram frontend_hist;
+  obs::Histogram app_hist;
+  obs::Histogram db_hist;
+  frontend_.set_hop_histogram(&frontend_hist);
+  app_router_.set_hop_histogram(&app_hist);
+  db_router_.set_hop_histogram(&db_hist);
+  // Capacity above the measured request count: the ring never wraps here,
+  // but wrapping would also be allocation-free (modular cursor on a slab).
+  obs::TraceRecorder trace(/*every_nth=*/1, /*capacity=*/1024);
+  proxies_.back()->set_trace(&trace);
+  apps_.back()->set_trace(&trace);
+  dbs_.back()->set_trace(&trace);
+
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(run_one(dynamic_db));
+
+  const std::uint64_t hist_before = frontend_hist.count();
+  const std::uint64_t spans_before = trace.recorded();
+  g_allocs.store(0);
+  g_track.store(true);
+  constexpr int kMeasured = 100;
+  int served = 0;
+  for (int i = 0; i < kMeasured; ++i) {
+    if (run_one(dynamic_db)) ++served;
+  }
+  g_track.store(false);
+
+  EXPECT_EQ(served, kMeasured);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "telemetry recording performed heap allocations";
+  // Prove the telemetry actually ran during the measured window.
+  EXPECT_EQ(frontend_hist.count(), hist_before + kMeasured);
+  EXPECT_EQ(app_hist.count(), frontend_hist.count());
+  EXPECT_GE(trace.recorded(), spans_before + 3 * kMeasured);
 }
 
 }  // namespace

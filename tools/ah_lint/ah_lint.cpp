@@ -15,6 +15,9 @@
 //                         mirror the layout).
 //   R3 pooling          — no std::deque / std::list in hot-path files.
 //   R4 include_hygiene  — no <iostream> in headers.
+//   R5 obs_hot_path     — telemetry record calls in hot-path files must go
+//                         through the AH_OBS_* macros (null-checked,
+//                         sampling-gated), never direct method calls.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 #include <algorithm>
@@ -65,6 +68,11 @@ constexpr RuleDoc kRules[] = {
      "Headers must not include <iostream>: it drags in the static "
      "initialization of the standard streams into every TU. Use <ostream> or "
      "<iosfwd> in headers and keep <iostream> in .cpp files."},
+    {"obs_hot_path",
+     "AH_HOT_PATH_FILE files must not call telemetry record methods "
+     "(record_us/record_span/record) directly: use AH_OBS_RECORD_US, "
+     "AH_OBS_RECORD_SPAN, or AH_OBS_TRACE_SPAN, which null-check the sink "
+     "(and gate tracing on the sampling predicate) before touching it."},
 };
 
 void list_rules() {
@@ -218,6 +226,11 @@ const std::vector<Check>& hot_path_checks() {
     c.push_back({"pooling", std::regex(R"(std\s*::\s*(deque|list)\b)"),
                  "chunk/node-allocating container in a hot-path file; use "
                  "common::ObjectPool, common::RingBuffer, or std::vector"});
+    c.push_back({"obs_hot_path",
+                 std::regex(R"((\.|->)\s*(record_us|record_span|record)\s*\()"),
+                 "direct telemetry record call in a hot-path file; use "
+                 "AH_OBS_RECORD_US / AH_OBS_RECORD_SPAN / AH_OBS_TRACE_SPAN "
+                 "(null-checked and sampling-gated)"});
     return c;
   }();
   return checks;

@@ -1,0 +1,20 @@
+# Runs metrics_smoke at a given thread count and byte-compares its output
+# against the committed golden.  Driven by ctest (see tools/CMakeLists.txt);
+# passing at THREADS=1/2/8 is the cross-thread determinism acceptance check.
+#
+# Variables: SMOKE_BIN, THREADS, OUT, GOLDEN.
+execute_process(
+  COMMAND "${SMOKE_BIN}" --threads "${THREADS}" --out "${OUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "metrics_smoke --threads ${THREADS} failed (${run_rc})")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT}" "${GOLDEN}"
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "metrics snapshot at --threads ${THREADS} differs from golden "
+    "${GOLDEN}; if the simulation intentionally changed, regenerate with: "
+    "metrics_smoke --out ${GOLDEN}")
+endif()
