@@ -4,10 +4,16 @@
 // many tuning iterations per wall-clock second the harness sustains.
 #include <benchmark/benchmark.h>
 
+#include <malloc.h>  // malloc_usable_size (glibc)
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -22,8 +28,72 @@
 #include "sim/simulator.hpp"
 #include "tpcw/mix.hpp"
 #include "tpcw/zipf.hpp"
+#include "core/model_immutable.hpp"
 #include "webstack/lru_cache.hpp"
 #include "webstack/params.hpp"
+
+// ---------------------------------------------------------------------------
+// Live-heap accounting for the bytes-per-replica column (same hook as
+// bench_scale: add/subtract malloc_usable_size of every live allocation).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::int64_t> g_live_bytes{0};
+
+void track_bytes(void* p) {
+  g_live_bytes.fetch_add(static_cast<std::int64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+}
+}  // namespace
+
+// gcc pairs the inlined malloc/aligned_alloc in these replacements with
+// the free() in the replaced delete and flags a mismatch; the pairing is
+// by construction correct (glibc free accepts both).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size > 0 ? size : 1)) {
+    track_bytes(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1))) {
+    track_bytes(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(static_cast<std::int64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -236,12 +306,57 @@ BENCHMARK(BM_ParallelEvaluatorScaling)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Bytes-per-replica: quantifies the sharing win of the immutable model
+// layer in the same file as the thread-scaling it enables.  Duplicated is
+// the pre-sharing replica layout (eager all-roles nodes, a private
+// popularity CDF per workload); shared is the current default (lazy roles,
+// one ModelImmutable amortised over the replicas).  Exact live-heap
+// deltas — host-independent, meaningful even when the speedup column is
+// not ("valid": false).
+struct ReplicaBytes {
+  double duplicated = 0.0;
+  double shared = 0.0;
+};
+
+ReplicaBytes measure_replica_bytes() {
+  core::Experiment::Config experiment;
+  experiment.browsers = 200;  // the scaling benchmark's population
+  const auto build_all = [&experiment](bool shared_layer) {
+    core::SystemModel::Config topology;
+    const std::int64_t before = g_live_bytes.load(std::memory_order_relaxed);
+    std::shared_ptr<const core::ModelImmutable> layer;
+    if (shared_layer) {
+      layer = core::make_model_immutable(topology, experiment);
+    } else {
+      topology.eager_roles = true;
+    }
+    std::vector<std::unique_ptr<core::SystemModel>> systems;
+    std::vector<std::unique_ptr<core::Experiment>> experiments;
+    for (std::size_t r = 0; r < kScalingReplicas; ++r) {
+      core::SystemModel::Config config = topology;
+      config.shared = layer;
+      systems.push_back(std::make_unique<core::SystemModel>(config));
+      experiments.push_back(
+          std::make_unique<core::Experiment>(*systems.back(), experiment));
+    }
+    const std::int64_t after = g_live_bytes.load(std::memory_order_relaxed);
+    return static_cast<double>(after - before) /
+           static_cast<double>(kScalingReplicas);
+  };
+  ReplicaBytes bytes;
+  bytes.duplicated = build_all(/*shared_layer=*/false);
+  bytes.shared = build_all(/*shared_layer=*/true);
+  return bytes;
+}
+
 // Dumps the scaling sweep as BENCH_parallel.json so the repo records the
 // threads -> iterations/sec trajectory alongside the reproduction CSVs.
 void write_parallel_json() {
   if (g_scaling.empty()) return;  // benchmark filtered out
+  const ReplicaBytes replica_bytes = measure_replica_bytes();
   std::FILE* out = std::fopen("BENCH_parallel.json", "w");
   if (out == nullptr) return;
+  const unsigned hw = std::thread::hardware_concurrency();
   const double base = g_scaling.count(1) != 0
                           ? g_scaling.at(1).iterations_per_sec
                           : 0.0;
@@ -250,11 +365,21 @@ void write_parallel_json() {
   std::fprintf(out, "  \"metric\": \"tuning iterations per second\",\n");
   std::fprintf(out, "  \"replicas\": %zu,\n", kScalingReplicas);
   std::fprintf(out, "  \"candidates_per_batch\": %zu,\n", kScalingBatch);
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(out, "  \"valid\": %s,\n", hw > 1 ? "true" : "false");
   std::fprintf(out,
                "  \"note\": \"wall-clock speedup is bounded by "
-               "hardware_concurrency on the recording machine\",\n");
+               "hardware_concurrency on the recording machine; valid=false "
+               "means a single-core host, where speedup <= 1.0 is "
+               "meaningless.  bytes_per_replica is host-independent\",\n");
+  std::fprintf(out, "  \"bytes_per_replica\": {\n");
+  std::fprintf(out,
+               "    \"duplicated\": %.0f,\n    \"shared\": %.0f,\n"
+               "    \"reduction_ratio\": %.2f\n  },\n",
+               replica_bytes.duplicated, replica_bytes.shared,
+               replica_bytes.shared > 0.0
+                   ? replica_bytes.duplicated / replica_bytes.shared
+                   : 0.0);
   std::fprintf(out, "  \"results\": [\n");
   std::size_t written = 0;
   for (const auto& [threads, sample] : g_scaling) {
@@ -274,6 +399,14 @@ void write_parallel_json() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "*** WARNING: hardware_concurrency=%u on this host. ***\n"
+                 "*** BM_ParallelEvaluatorScaling cannot show real     ***\n"
+                 "*** speedup; BENCH_parallel.json will carry          ***\n"
+                 "*** \"valid\": false.                                  ***\n",
+                 std::thread::hardware_concurrency());
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -33,6 +33,11 @@ class Cluster {
   /// Creates a node and assigns it to `tier`.  Returns its id.
   NodeId add_node(const NodeHardware& hw, TierKind tier);
 
+  /// As above but placing the node's hardware on an explicit timeline.  A
+  /// sharded SystemModel keeps one Cluster for membership (ids, tiers) while
+  /// each work line's nodes run on that line's own Simulator.
+  NodeId add_node(sim::Simulator& sim, const NodeHardware& hw, TierKind tier);
+
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] Node& node(NodeId id);
   [[nodiscard]] const Node& node(NodeId id) const;

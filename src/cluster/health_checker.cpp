@@ -39,8 +39,14 @@ void HealthChecker::tick() {
   if (states_.size() < cluster_.node_count()) {
     states_.resize(cluster_.node_count());
   }
-  for (NodeId id = 0; id < states_.size(); ++id) {
-    probe(id, states_[id]);
+  if (scope_.empty()) {
+    for (NodeId id = 0; id < states_.size(); ++id) {
+      probe(id, states_[id]);
+    }
+  } else {
+    for (const NodeId id : scope_) {
+      probe(id, states_.at(id));
+    }
   }
   tick_id_ = sim_.schedule(config_.period, [this] { tick(); });
 }

@@ -69,6 +69,13 @@ class HealthChecker {
     observer_ = std::move(observer);
   }
 
+  /// Restricts probing to `nodes` (a work line's slice of the cluster).
+  /// Empty means probe every node, the default.  A sharded SystemModel
+  /// gives each line's checker that line's nodes so health traffic and
+  /// mark flips stay on the line's own timeline.
+  void set_scope(std::vector<NodeId> nodes) { scope_ = std::move(nodes); }
+  [[nodiscard]] const std::vector<NodeId>& scope() const { return scope_; }
+
   /// Current routing mark for `id` (true until probing says otherwise).
   [[nodiscard]] bool node_up(NodeId id) const;
 
@@ -92,6 +99,8 @@ class HealthChecker {
   Config config_;
   /// Indexed by NodeId; grown lazily so nodes added mid-run are covered.
   std::vector<NodeState> states_;
+  /// Node ids to probe; empty = all cluster nodes.
+  std::vector<NodeId> scope_;
   TransitionFn observer_;
   sim::EventId tick_id_ = 0;  // EventQueue ids are never zero
   bool running_ = false;

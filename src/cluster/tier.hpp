@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -65,8 +66,11 @@ class Tier {
  private:
   TierKind kind_;
   std::vector<NodeId> members_;
-  /// Parallel to members_: true when the node is marked up.
-  std::vector<bool> healthy_;
+  /// Parallel to members_: non-zero when the node is marked up.  Byte
+  /// elements, not vector<bool>: per-line health checkers on different
+  /// work-line threads may write distinct entries concurrently, which a
+  /// packed bitfield would turn into a data race on the shared word.
+  std::vector<std::uint8_t> healthy_;
 };
 
 }  // namespace ah::cluster

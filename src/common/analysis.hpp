@@ -36,6 +36,13 @@
 #define AH_LINT_ALLOW(rule, reason) \
   static_assert(true, "ah-lint: allow " #rule ": " reason)
 
+/// Marks a file as part of the immutable model layer: state defined here is
+/// shared read-only across replicas and work-line threads, so the file must
+/// hold no non-const statics and no `mutable` members (ah_lint rule
+/// `shared_state`).  Place once near the top: `AH_IMMUTABLE_STATE_FILE;`.
+#define AH_IMMUTABLE_STATE_FILE \
+  static_assert(true, "ah-lint: shared-state rules apply to this file")
+
 namespace ah::common {
 
 /// Requirements for a per-request call struct held in an ObjectPool.  Pool

@@ -17,8 +17,12 @@ Experiment::Experiment(SystemModel& system, const Config& config)
     wc.browsers = per_line;
     wc.item_count = config_.item_count;
     wc.seed = common::mix_seed(config_.seed, li);
+    // One shared popularity CDF across all lines (and, via the immutable
+    // layer, all replicas).  Workload falls back to a private copy when
+    // the table's scale does not match.
+    wc.shared_popularity = system_.shared_popularity();
     workloads_.push_back(std::make_unique<tpcw::Workload>(
-        system_.simulator(), system_.frontend(li),
+        system_.line_simulator(li), system_.frontend(li),
         &tpcw::Mix::standard(workload_), *meters_.back(), wc));
   }
 }
@@ -39,19 +43,23 @@ const tpcw::WipsMeter& Experiment::meter(std::size_t line) const {
 }
 
 IterationResult Experiment::run_iteration() {
-  sim::Simulator& sim = system_.simulator();
   if (!started_) {
     started_ = true;
     for (auto& workload : workloads_) workload->start();
   }
 
-  const common::SimTime start = sim.now();
+  // All line timelines agree at iteration boundaries (they are advanced to
+  // the same barrier below), so line 0's clock stands in for "now".
+  const common::SimTime start = system_.now();
   const common::SimTime measure_from = start + config_.iteration.warmup;
   const common::SimTime measure_to = measure_from + config_.iteration.measure;
   for (auto& meter : meters_) meter->arm(measure_from, measure_to);
 
   const std::uint64_t disturbances_before = system_.disturbance_count();
-  sim.run_until(start + config_.iteration.total());
+  // Advance every line to the window end — concurrently when the model is
+  // sharded and a thread pool is attached.  The merge below reads meters in
+  // line order, so the result is identical at any thread count.
+  system_.run_all_until(start + config_.iteration.total());
   ++iterations_;
 
   IterationResult result;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "core/model_immutable.hpp"
 
 namespace ah::core {
 
@@ -22,6 +23,12 @@ ParallelEvaluator::ParallelEvaluator(common::ThreadPool& pool,
     : pool_(pool), options_(std::move(options)) {
   if (options_.replicas == 0) {
     throw std::invalid_argument("ParallelEvaluator: replicas must be >= 1");
+  }
+  // All k replicas share one immutable layer (popularity CDF, catalogue
+  // defaults, topology) — build it here if the caller did not supply one.
+  if (options_.topology.shared == nullptr) {
+    options_.topology.shared =
+        make_model_immutable(options_.topology, options_.experiment);
   }
   replicas_.reserve(options_.replicas);
   for (std::size_t r = 0; r < options_.replicas; ++r) {

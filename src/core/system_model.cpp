@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "core/model_immutable.hpp"
 
 namespace ah::core {
 
@@ -35,25 +36,48 @@ double move_cost_seconds(TierKind tier) {
 }  // namespace
 
 SystemModel::SystemModel(sim::Simulator& sim, const Config& config)
-    : sim_(sim), config_(config) {
+    : config_(config), sharded_(false) {
+  Shard shard;
+  shard.sim = &sim;
+  shards_.push_back(std::move(shard));
+  build(config);
+}
+
+SystemModel::SystemModel(const Config& config)
+    : config_(config), sharded_(true) {
+  for (std::size_t li = 0; li < config.lines.size(); ++li) {
+    Shard shard;
+    shard.owned_sim = std::make_unique<sim::Simulator>();
+    shard.sim = shard.owned_sim.get();
+    shards_.push_back(std::move(shard));
+  }
+  build(config);
+}
+
+void SystemModel::build(const Config& config) {
   if (config.lines.empty()) {
     throw std::invalid_argument("SystemModel: no work lines");
   }
-  cluster_ = std::make_unique<cluster::Cluster>(sim_);
-  network_ = std::make_unique<cluster::Network>(sim_);
-  monitor_ = std::make_unique<sim::UtilizationMonitor>(
-      sim_, config.monitor_period, /*ewma_alpha=*/0.3);
+  for (Shard& shard : shards_) {
+    shard.network = std::make_unique<cluster::Network>(*shard.sim);
+    shard.monitor = std::make_unique<sim::UtilizationMonitor>(
+        *shard.sim, config.monitor_period, /*ewma_alpha=*/0.3);
+  }
+  cluster_ = std::make_unique<cluster::Cluster>(*shards_[0].sim);
 
-  std::uint64_t seed = config.seed;
+  const std::uint64_t seed = config.seed;
   for (std::size_t li = 0; li < config.lines.size(); ++li) {
+    Shard& shard = shard_of_line(li);
     Line line;
     line.frontend = std::make_unique<webstack::FrontendRouter>(
-        sim_, config.frontend_policy, common::SimTime::micros(300),
+        *shard.sim, config.frontend_policy, common::SimTime::micros(300),
         common::mix_seed(seed, li * 3 + 0));
     line.app_router = std::make_unique<webstack::AppTierRouter>(
-        *network_, config.backend_policy, common::mix_seed(seed, li * 3 + 1));
+        *shard.network, config.backend_policy,
+        common::mix_seed(seed, li * 3 + 1));
     line.db_router = std::make_unique<webstack::DbTierRouter>(
-        *network_, config.backend_policy, common::mix_seed(seed, li * 3 + 2));
+        *shard.network, config.backend_policy,
+        common::mix_seed(seed, li * 3 + 2));
     lines_.push_back(std::move(line));
   }
   for (std::size_t li = 0; li < config.lines.size(); ++li) {
@@ -79,58 +103,110 @@ SystemModel::SystemModel(sim::Simulator& sim, const Config& config)
     line.app_router->set_hop_histogram(&line.app_hop_latency);
     line.db_router->set_hop_histogram(&line.db_hop_latency);
   }
+  all_nodes_.reserve(nodes_.size());
+  for (const NodeState& state : nodes_) all_nodes_.push_back(state.id);
   register_metrics();
-  monitor_->start();
+  for (Shard& shard : shards_) shard.monitor->start();
 }
 
 NodeId SystemModel::create_node(std::size_t line_index, TierKind tier,
                                 const Config& config) {
-  const NodeId id = cluster_->add_node(config.hardware, tier);
+  Shard& shard = shard_of_line(line_index);
+  const NodeId id = cluster_->add_node(*shard.sim, config.hardware, tier);
   cluster::Node& node = cluster_->node(id);
   Line& line = lines_[line_index];
 
   NodeState state;
   state.id = id;
   state.line = line_index;
+  nodes_.push_back(std::move(state));
+  NodeState& stored = nodes_.back();
 
-  webstack::AppTierRouter* app_router = line.app_router.get();
-  webstack::DbTierRouter* db_router = line.db_router.get();
-  state.proxy = std::make_unique<webstack::ProxyServer>(
-      sim_, node,
-      [app_router](const webstack::Request& request, cluster::Node& from,
-                   webstack::ResponseFn done) {
-        app_router->route(request, from, std::move(done));
-      },
-      webstack::ProxyParams{});
-  state.app = std::make_unique<webstack::AppServer>(
-      sim_, node,
-      [db_router](const webstack::DbQuery& query, cluster::Node& from,
-                  webstack::DbResultFn done) {
-        db_router->route(query, from, std::move(done));
-      },
-      webstack::AppParams{});
-  state.db = std::make_unique<webstack::DbServer>(
-      sim_, node, webstack::DbParams{},
-      common::mix_seed(config.seed, 0x0db + id));
+  if (config.eager_roles) {
+    ensure_proxy(stored);
+    ensure_app(stored);
+    ensure_db(stored);
+  } else {
+    switch (tier) {
+      case TierKind::kProxy: ensure_proxy(stored); break;
+      case TierKind::kApp:   ensure_app(stored); break;
+      case TierKind::kDb:    ensure_db(stored); break;
+    }
+  }
 
-  // Only the role matching the node's tier stays active (and charged).
-  if (tier != TierKind::kProxy) state.proxy->set_active(false);
-  if (tier != TierKind::kApp) state.app->set_active(false);
-  if (tier != TierKind::kDb) state.db->set_active(false);
-
-  state.probe_base = monitor_->add_probe(
+  stored.probe_base = shard.monitor->add_probe(
       node.name() + ".cpu", [&node] { return node.cpu_utilization_probe(); });
-  monitor_->add_probe(node.name() + ".disk",
-                      [&node] { return node.disk_utilization_probe(); });
-  monitor_->add_probe(node.name() + ".nic",
-                      [&node] { return node.nic_utilization_probe(); });
-  monitor_->add_probe(node.name() + ".mem",
-                      [&node] { return node.memory_pressure(); });
+  shard.monitor->add_probe(node.name() + ".disk", [&node] {
+    return node.disk_utilization_probe();
+  });
+  shard.monitor->add_probe(node.name() + ".nic", [&node] {
+    return node.nic_utilization_probe();
+  });
+  shard.monitor->add_probe(node.name() + ".mem",
+                           [&node] { return node.memory_pressure(); });
 
   line.nodes.push_back(id);
-  nodes_.push_back(std::move(state));
-  register_active(nodes_.back());
+  register_active(stored);
   return id;
+}
+
+webstack::ProxyServer& SystemModel::ensure_proxy(NodeState& state) {
+  if (state.proxy == nullptr) {
+    Shard& shard = shard_of_line(state.line);
+    cluster::Node& node = cluster_->node(state.id);
+    webstack::AppTierRouter* app_router = lines_[state.line].app_router.get();
+    state.proxy = std::make_unique<webstack::ProxyServer>(
+        *shard.sim, node,
+        [app_router](const webstack::Request& request, cluster::Node& from,
+                     webstack::ResponseFn done) {
+          app_router->route(request, from, std::move(done));
+        },
+        webstack::ProxyParams{});
+    deactivate_unless_current(state, TierKind::kProxy);
+    if (fault_tolerance_enabled_) state.proxy->set_resilience(proxy_resilience_);
+    if (trace_ != nullptr) state.proxy->set_trace(trace_);
+  }
+  return *state.proxy;
+}
+
+webstack::AppServer& SystemModel::ensure_app(NodeState& state) {
+  if (state.app == nullptr) {
+    Shard& shard = shard_of_line(state.line);
+    cluster::Node& node = cluster_->node(state.id);
+    webstack::DbTierRouter* db_router = lines_[state.line].db_router.get();
+    state.app = std::make_unique<webstack::AppServer>(
+        *shard.sim, node,
+        [db_router](const webstack::DbQuery& query, cluster::Node& from,
+                    webstack::DbResultFn done) {
+          db_router->route(query, from, std::move(done));
+        },
+        webstack::AppParams{});
+    deactivate_unless_current(state, TierKind::kApp);
+    if (trace_ != nullptr) state.app->set_trace(trace_);
+  }
+  return *state.app;
+}
+
+webstack::DbServer& SystemModel::ensure_db(NodeState& state) {
+  if (state.db == nullptr) {
+    Shard& shard = shard_of_line(state.line);
+    cluster::Node& node = cluster_->node(state.id);
+    state.db = std::make_unique<webstack::DbServer>(
+        *shard.sim, node, webstack::DbParams{},
+        common::mix_seed(config_.seed, 0x0db + state.id));
+    deactivate_unless_current(state, TierKind::kDb);
+    if (trace_ != nullptr) state.db->set_trace(trace_);
+  }
+  return *state.db;
+}
+
+void SystemModel::deactivate_unless_current(NodeState& state, TierKind role) {
+  if (cluster_->tier_of(state.id) == role) return;
+  switch (role) {
+    case TierKind::kProxy: state.proxy->set_active(false); break;
+    case TierKind::kApp:   state.app->set_active(false); break;
+    case TierKind::kDb:    state.db->set_active(false); break;
+  }
 }
 
 void SystemModel::register_active(NodeState& state) {
@@ -155,6 +231,64 @@ webstack::FrontendRouter& SystemModel::frontend(std::size_t line) {
   return *lines_.at(line).frontend;
 }
 
+sim::Simulator& SystemModel::simulator() {
+  if (sharded_) {
+    throw std::logic_error(
+        "SystemModel: a sharded model has no single timeline; use "
+        "line_simulator()/run_all_until()");
+  }
+  return *shards_[0].sim;
+}
+
+sim::Simulator& SystemModel::line_simulator(std::size_t line) {
+  if (line >= lines_.size()) {
+    throw std::out_of_range("SystemModel::line_simulator: bad line");
+  }
+  return *shard_of_line(line).sim;
+}
+
+common::SimTime SystemModel::now() const {
+  // All shard clocks agree at run_all_until() barriers; line 0 stands in.
+  return shards_[0].sim->now();
+}
+
+void SystemModel::run_all_until(common::SimTime until) {
+  if (!sharded_) {
+    shards_[0].sim->run_until(until);
+    return;
+  }
+  if (pool_ != nullptr && shards_.size() > 1 && pool_->size() > 1) {
+    // Each line's timeline is sequential within its task; which thread
+    // runs which line never affects any line's event order, so the merge
+    // below the barrier sees bit-identical state at any pool size.
+    pool_->parallel_for(shards_.size(), [this, until](std::size_t s) {
+      shards_[s].sim->run_until(until);
+    });
+  } else {
+    for (Shard& shard : shards_) shard.sim->run_until(until);
+  }
+}
+
+std::shared_ptr<const tpcw::ZipfSampler> SystemModel::shared_popularity()
+    const {
+  return config_.shared != nullptr ? config_.shared->popularity_ptr()
+                                   : nullptr;
+}
+
+cluster::HealthChecker* SystemModel::line_health_checker(std::size_t line) {
+  if (line >= lines_.size()) {
+    throw std::out_of_range("SystemModel::line_health_checker: bad line");
+  }
+  return shard_of_line(line).health.get();
+}
+
+cluster::Network& SystemModel::line_network(std::size_t line) {
+  if (line >= lines_.size()) {
+    throw std::out_of_range("SystemModel::line_network: bad line");
+  }
+  return *shard_of_line(line).network;
+}
+
 const std::vector<NodeId>& SystemModel::line_nodes(std::size_t line) const {
   return lines_.at(line).nodes;
 }
@@ -163,25 +297,18 @@ std::size_t SystemModel::line_of(NodeId id) const {
   return nodes_.at(id).line;
 }
 
-std::vector<NodeId> SystemModel::all_nodes() const {
-  std::vector<NodeId> ids;
-  ids.reserve(nodes_.size());
-  for (const auto& state : nodes_) ids.push_back(state.id);
-  return ids;
-}
-
 void SystemModel::apply_values_to_node(NodeId id,
                                        std::span<const std::int64_t> values) {
   NodeState& state = nodes_.at(id);
   switch (cluster_->tier_of(id)) {
     case TierKind::kProxy:
-      state.proxy->reconfigure(webstack::proxy_from_values(values));
+      ensure_proxy(state).reconfigure(webstack::proxy_from_values(values));
       break;
     case TierKind::kApp:
-      state.app->reconfigure(webstack::app_from_values(values));
+      ensure_app(state).reconfigure(webstack::app_from_values(values));
       break;
     case TierKind::kDb:
-      state.db->reconfigure(webstack::db_from_values(values));
+      ensure_db(state).reconfigure(webstack::db_from_values(values));
       break;
   }
 }
@@ -198,29 +325,34 @@ void SystemModel::apply_values_line(std::size_t line,
 }
 
 webstack::ProxyServer& SystemModel::proxy_on(NodeId id) {
-  return *nodes_.at(id).proxy;
+  return ensure_proxy(nodes_.at(id));
 }
 
 webstack::AppServer& SystemModel::app_on(NodeId id) {
-  return *nodes_.at(id).app;
+  return ensure_app(nodes_.at(id));
 }
 
 webstack::DbServer& SystemModel::db_on(NodeId id) {
-  return *nodes_.at(id).db;
+  return ensure_db(nodes_.at(id));
 }
 
 int SystemModel::active_load(NodeId id) {
   NodeState& state = nodes_.at(id);
   switch (cluster_->tier_of(id)) {
-    case TierKind::kProxy: return state.proxy->load();
-    case TierKind::kApp:   return state.app->load();
-    case TierKind::kDb:    return state.db->load();
+    case TierKind::kProxy: return state.proxy != nullptr ? state.proxy->load() : 0;
+    case TierKind::kApp:   return state.app != nullptr ? state.app->load() : 0;
+    case TierKind::kDb:    return state.db != nullptr ? state.db->load() : 0;
   }
   return 0;
 }
 
 void SystemModel::move_node(NodeId id, TierKind to, bool immediate,
                             common::SimTime config_cost) {
+  if (sharded_) {
+    throw std::logic_error(
+        "SystemModel: move_node needs the single-timeline mode (tier "
+        "membership is cross-line state)");
+  }
   NodeState& state = nodes_.at(id);
   if (state.moving) {
     throw std::logic_error("SystemModel: node already being moved");
@@ -246,19 +378,27 @@ void SystemModel::move_node(NodeId id, TierKind to, bool immediate,
     auto poll = std::make_shared<std::function<void()>>();
     *poll = [this, id, to, config_cost, poll] {
       if (active_load(id) > 0) {
-        sim_.schedule(kDrainPoll, *poll);
+        shards_[0].sim->schedule(kDrainPoll, *poll);
       } else {
         finish_move(id, to, config_cost);
       }
     };
-    sim_.schedule(kDrainPoll, *poll);
+    shards_[0].sim->schedule(kDrainPoll, *poll);
   }
 }
 
 void SystemModel::finish_move(NodeId id, TierKind to,
                               common::SimTime config_cost) {
-  sim_.schedule(config_cost, [this, id, to] {
+  shards_[0].sim->schedule(config_cost, [this, id, to] {
     NodeState& state = nodes_.at(id);
+    // The target role is created (inactive) before membership changes, so
+    // its activation below charges the same restart burst the eager layout
+    // would have.
+    switch (to) {
+      case TierKind::kProxy: ensure_proxy(state); break;
+      case TierKind::kApp:   ensure_app(state); break;
+      case TierKind::kDb:    ensure_db(state); break;
+    }
     const TierKind from = cluster_->tier_of(id);
     switch (from) {
       case TierKind::kProxy: state.proxy->set_active(false); break;
@@ -296,37 +436,84 @@ SystemModel::FaultToleranceConfig::default_proxy_resilience() {
 }
 
 void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
-  if (health_ == nullptr) {
-    health_ = std::make_unique<cluster::HealthChecker>(sim_, *cluster_,
-                                                       config.health);
-    health_->set_transition_observer([this](NodeId id, bool up) {
-      ++disturbances_;
-      common::log_info("health", "node{} marked {}", id, up ? "up" : "down");
-    });
-    health_->start();
+  if (!fault_tolerance_enabled_) {
+    fault_tolerance_enabled_ = true;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = shards_[s];
+      shard.health = std::make_unique<cluster::HealthChecker>(
+          *shard.sim, *cluster_, config.health);
+      // A sharded checker probes only its line's nodes: health state stays
+      // line-local, and the per-line sums below keep the metric totals.
+      if (sharded_) shard.health->set_scope(lines_[s].nodes);
+      shard.health->set_transition_observer([this](NodeId id, bool up) {
+        disturbances_.fetch_add(1, std::memory_order_relaxed);
+        common::log_info("health", "node{} marked {}", id, up ? "up" : "down");
+      });
+      shard.health->start();
+    }
     // First enable: the health counters join the registry (PR-5 migration).
-    metrics_.add_counter("health.probes_sent",
-                         [this] { return health_->probes_sent(); });
-    metrics_.add_counter("health.transitions",
-                         [this] { return health_->transitions(); });
+    metrics_.add_counter("health.probes_sent", [this] {
+      std::uint64_t total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->probes_sent();
+      }
+      return total;
+    });
+    metrics_.add_counter("health.transitions", [this] {
+      std::uint64_t total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->transitions();
+      }
+      return total;
+    });
   }
   for (Line& line : lines_) {
     line.frontend->set_hop_timeout(config.hop_timeout);
     line.app_router->set_hop_timeout(config.hop_timeout);
     line.db_router->set_hop_timeout(config.hop_timeout);
   }
-  for (NodeState& state : nodes_) state.proxy->set_resilience(config.proxy);
+  proxy_resilience_ = config.proxy;
+  for (NodeState& state : nodes_) {
+    if (state.proxy != nullptr) state.proxy->set_resilience(config.proxy);
+  }
 }
 
 void SystemModel::install_fault_plan(const sim::FaultPlan& plan) {
-  if (injector_ == nullptr) {
-    injector_ = std::make_unique<sim::FaultInjector>(sim_);
+  for (Shard& shard : shards_) {
+    if (shard.injector == nullptr) {
+      shard.injector = std::make_unique<sim::FaultInjector>(*shard.sim);
+    }
   }
-  injector_->arm(plan,
-                 [this](const sim::FaultEvent& event) { apply_fault(event); });
+  if (!sharded_) {
+    shards_[0].injector->arm(plan, [this](const sim::FaultEvent& event) {
+      apply_fault(0, event);
+    });
+    return;
+  }
+  // Partition by the subject node's line so every event fires on the
+  // timeline whose state it touches.  Every injector is re-armed (possibly
+  // with an empty slice) so a re-install clears stale events everywhere.
+  std::vector<sim::FaultPlan> per_line(shards_.size());
+  for (const sim::FaultEvent& event : plan.events) {
+    const bool is_link = event.kind == sim::FaultEvent::Kind::kLinkDegrade ||
+                         event.kind == sim::FaultEvent::Kind::kLinkRestore;
+    if (is_link && event.node == sim::kFaultAnyNode &&
+        event.peer == sim::kFaultAnyNode) {
+      for (sim::FaultPlan& slice : per_line) slice.events.push_back(event);
+      continue;
+    }
+    std::uint32_t subject = event.node;
+    if (is_link && subject == sim::kFaultAnyNode) subject = event.peer;
+    per_line[line_of(subject)].events.push_back(event);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].injector->arm(
+        per_line[s],
+        [this, s](const sim::FaultEvent& event) { apply_fault(s, event); });
+  }
 }
 
-void SystemModel::apply_fault(const sim::FaultEvent& event) {
+void SystemModel::apply_fault(std::size_t shard, const sim::FaultEvent& event) {
   switch (event.kind) {
     case sim::FaultEvent::Kind::kCrash:
       crash_node(event.node);
@@ -343,13 +530,13 @@ void SystemModel::apply_fault(const sim::FaultEvent& event) {
     case sim::FaultEvent::Kind::kLinkDegrade:
       // sim::kFaultAnyNode and cluster::kAnyNode are both ~0u, so ids pass
       // through unchanged.
-      ++disturbances_;
-      network_->set_link_fault(event.node, event.peer, event.magnitude,
-                               event.delay);
+      disturbances_.fetch_add(1, std::memory_order_relaxed);
+      shards_[shard].network->set_link_fault(event.node, event.peer,
+                                             event.magnitude, event.delay);
       break;
     case sim::FaultEvent::Kind::kLinkRestore:
-      ++disturbances_;
-      network_->clear_link_fault(event.node, event.peer);
+      disturbances_.fetch_add(1, std::memory_order_relaxed);
+      shards_[shard].network->clear_link_fault(event.node, event.peer);
       break;
   }
 }
@@ -366,7 +553,7 @@ void SystemModel::crash_node(NodeId id) {
   NodeState& state = nodes_.at(id);
   cluster::Node& node = cluster_->node(id);
   if (!node.alive()) return;
-  ++disturbances_;
+  disturbances_.fetch_add(1, std::memory_order_relaxed);
   node.set_alive(false);
   common::log_info("fault", "node{} crash", id);
   // New requests fail fast at the dead server until the health checker
@@ -376,20 +563,25 @@ void SystemModel::crash_node(NodeId id) {
   // paths.  Continuations die uninvoked; router generation stamps and hop
   // timeouts are what keep upstream callers from hanging.  In-service
   // hardware jobs finish — a crash cannot un-burn CPU already modelled.
+  // Roles the node never played have no pools to clear.
   node.cpu().clear_queue();
   node.disk().clear_queue();
   node.nic().clear_queue();
-  state.app->http_pool().clear_waiters();
-  state.app->ajp_pool().clear_waiters();
-  state.db->connections().clear_waiters();
-  state.db->executors().clear_waiters();
+  if (state.app != nullptr) {
+    state.app->http_pool().clear_waiters();
+    state.app->ajp_pool().clear_waiters();
+  }
+  if (state.db != nullptr) {
+    state.db->connections().clear_waiters();
+    state.db->executors().clear_waiters();
+  }
 }
 
 void SystemModel::restart_node(NodeId id) {
   NodeState& state = nodes_.at(id);
   cluster::Node& node = cluster_->node(id);
   if (node.alive()) return;
-  ++disturbances_;
+  disturbances_.fetch_add(1, std::memory_order_relaxed);
   node.set_alive(true);
   node.set_fault_slowdown(1.0);
   common::log_info("fault", "node{} restart", id);
@@ -400,43 +592,76 @@ void SystemModel::restart_node(NodeId id) {
 
 void SystemModel::set_node_fail_slow(NodeId id, double factor) {
   cluster::Node& node = cluster_->node(id);
-  ++disturbances_;
+  disturbances_.fetch_add(1, std::memory_order_relaxed);
   node.set_fault_slowdown(factor);
   common::log_info("fault", "node{} fail-slow x{}", id, factor);
 }
 
 void SystemModel::set_trace_recorder(obs::TraceRecorder* trace) {
+  if (sharded_ && trace != nullptr) {
+    throw std::logic_error(
+        "SystemModel: trace recording shares one mutable ring; use the "
+        "single-timeline mode");
+  }
+  trace_ = trace;
   for (NodeState& state : nodes_) {
-    state.proxy->set_trace(trace);
-    state.app->set_trace(trace);
-    state.db->set_trace(trace);
+    if (state.proxy != nullptr) state.proxy->set_trace(trace);
+    if (state.app != nullptr) state.app->set_trace(trace);
+    if (state.db != nullptr) state.db->set_trace(trace);
   }
 }
 
 void SystemModel::register_metrics() {
-  // Network fabric (absorbs the PR-6 NIC batching counters).
-  metrics_.add_counter("network.messages_sent",
-                       [this] { return network_->messages_sent(); });
-  metrics_.add_counter("network.messages_dropped",
-                       [this] { return network_->messages_dropped(); });
+  // Network fabric (absorbs the PR-6 NIC batching counters).  Sums run in
+  // shard (= line) order, so every aggregate is deterministic.
+  metrics_.add_counter("network.messages_sent", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.network->messages_sent();
+    return total;
+  });
+  metrics_.add_counter("network.messages_dropped", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.network->messages_dropped();
+    }
+    return total;
+  });
   metrics_.add_counter("network.bytes_sent", [this] {
-    const common::Bytes bytes = network_->bytes_sent();
+    common::Bytes bytes = 0;
+    for (const Shard& shard : shards_) bytes += shard.network->bytes_sent();
     return bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0u;
   });
-  metrics_.add_counter("network.batches_coalesced",
-                       [this] { return network_->batches_coalesced(); });
-  metrics_.add_counter("network.messages_batched",
-                       [this] { return network_->messages_batched(); });
+  metrics_.add_counter("network.batches_coalesced", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.network->batches_coalesced();
+    }
+    return total;
+  });
+  metrics_.add_counter("network.messages_batched", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.network->messages_batched();
+    }
+    return total;
+  });
 
   // Event scheduler: executed work plus the calendar queue's lazy-cancel
-  // debt (stored - live slots awaiting reclamation).
-  metrics_.add_counter("scheduler.events_executed",
-                       [this] { return sim_.events_executed(); });
+  // debt (stored - live slots awaiting reclamation), over all timelines.
+  metrics_.add_counter("scheduler.events_executed", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.sim->events_executed();
+    return total;
+  });
   metrics_.add_counter("scheduler.pending_events", [this] {
-    return static_cast<std::uint64_t>(sim_.pending_events());
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.sim->pending_events();
+    return static_cast<std::uint64_t>(total);
   });
   metrics_.add_counter("scheduler.stored_events", [this] {
-    return static_cast<std::uint64_t>(sim_.stored_events());
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.sim->stored_events();
+    return static_cast<std::uint64_t>(total);
   });
 
   // Router degradation counters, aggregated over lines (PR-5).
@@ -459,11 +684,14 @@ void SystemModel::register_metrics() {
     return total;
   });
 
-  // Server stats, aggregated over nodes.  Helper sums one Stats field.
+  // Server stats, aggregated over nodes.  Helper sums one Stats field;
+  // never-created roles contribute zero, exactly like eager idle ones.
   const auto proxy_sum =
       [this](std::uint64_t webstack::ProxyServer::Stats::*field) {
         std::uint64_t total = 0;
-        for (const NodeState& state : nodes_) total += state.proxy->stats().*field;
+        for (const NodeState& state : nodes_) {
+          if (state.proxy != nullptr) total += state.proxy->stats().*field;
+        }
         return total;
       };
   using ProxyStats = webstack::ProxyServer::Stats;
@@ -490,7 +718,9 @@ void SystemModel::register_metrics() {
   const auto app_sum =
       [this](std::uint64_t webstack::AppServer::Stats::*field) {
         std::uint64_t total = 0;
-        for (const NodeState& state : nodes_) total += state.app->stats().*field;
+        for (const NodeState& state : nodes_) {
+          if (state.app != nullptr) total += state.app->stats().*field;
+        }
         return total;
       };
   using AppStats = webstack::AppServer::Stats;
@@ -512,7 +742,9 @@ void SystemModel::register_metrics() {
 
   const auto db_sum = [this](std::uint64_t webstack::DbServer::Stats::*field) {
     std::uint64_t total = 0;
-    for (const NodeState& state : nodes_) total += state.db->stats().*field;
+    for (const NodeState& state : nodes_) {
+      if (state.db != nullptr) total += state.db->stats().*field;
+    }
     return total;
   };
   using DbStats = webstack::DbServer::Stats;
@@ -531,37 +763,53 @@ void SystemModel::register_metrics() {
   // Pool occupancy (gauges over int accessors — instantaneous values).
   metrics_.add_gauge("pools.app_http.in_use", [this] {
     int total = 0;
-    for (const NodeState& state : nodes_) total += state.app->http_pool().in_use();
+    for (const NodeState& state : nodes_) {
+      if (state.app != nullptr) total += state.app->http_pool().in_use();
+    }
     return static_cast<double>(total);
   });
   metrics_.add_gauge("pools.app_ajp.in_use", [this] {
     int total = 0;
-    for (const NodeState& state : nodes_) total += state.app->ajp_pool().in_use();
+    for (const NodeState& state : nodes_) {
+      if (state.app != nullptr) total += state.app->ajp_pool().in_use();
+    }
     return static_cast<double>(total);
   });
   metrics_.add_gauge("pools.db_connections.in_use", [this] {
     int total = 0;
     for (const NodeState& state : nodes_) {
-      total += state.db->connections().in_use();
+      if (state.db != nullptr) total += state.db->connections().in_use();
     }
     return static_cast<double>(total);
   });
   metrics_.add_gauge("pools.db_executors.in_use", [this] {
     int total = 0;
-    for (const NodeState& state : nodes_) total += state.db->executors().in_use();
+    for (const NodeState& state : nodes_) {
+      if (state.db != nullptr) total += state.db->executors().in_use();
+    }
     return static_cast<double>(total);
   });
 
-  // Utilization monitor: sample count plus every probe's EWMA.
-  metrics_.add_counter("monitor.samples_taken",
-                       [this] { return monitor_->samples_taken(); });
-  for (std::size_t i = 0; i < monitor_->probe_count(); ++i) {
-    metrics_.add_gauge("util." + monitor_->probe_name(i),
-                       [this, i] { return monitor_->smoothed(i); });
+  // Utilization monitor: sample count plus every probe's EWMA.  Shards in
+  // line order, probes in node-creation order — the legacy single shard
+  // yields exactly the historical sequence.
+  metrics_.add_counter("monitor.samples_taken", [this] {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.monitor->samples_taken();
+    return total;
+  });
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t i = 0; i < shards_[s].monitor->probe_count(); ++i) {
+      metrics_.add_gauge("util." + shards_[s].monitor->probe_name(i),
+                         [this, s, i] {
+                           return shards_[s].monitor->smoothed(i);
+                         });
+    }
   }
 
-  metrics_.add_counter("faults.disturbances",
-                       [this] { return disturbances_; });
+  metrics_.add_counter("faults.disturbances", [this] {
+    return disturbances_.load(std::memory_order_relaxed);
+  });
 
   // Per-line latency distributions.
   for (std::size_t li = 0; li < lines_.size(); ++li) {
@@ -586,14 +834,15 @@ std::vector<harmony::NodeReading> SystemModel::readings() {
     // capacity shrink instead (Tier::healthy_count).
     if (!node.alive() || !node.marked_up()) continue;
     const TierKind tier = cluster_->tier_of(state.id);
+    const sim::UtilizationMonitor& monitor = *shard_of_line(state.line).monitor;
     harmony::NodeReading reading;
     reading.node_id = state.id;
     reading.tier = static_cast<int>(tier);
     reading.utilization = {
-        monitor_->smoothed(state.probe_base + kCpu),
-        monitor_->smoothed(state.probe_base + kDisk),
-        monitor_->smoothed(state.probe_base + kNic),
-        monitor_->smoothed(state.probe_base + kMemory),
+        monitor.smoothed(state.probe_base + kCpu),
+        monitor.smoothed(state.probe_base + kDisk),
+        monitor.smoothed(state.probe_base + kNic),
+        monitor.smoothed(state.probe_base + kMemory),
     };
     reading.jobs = static_cast<double>(active_load(state.id));
     reading.avg_process_seconds = avg_process_seconds(tier);

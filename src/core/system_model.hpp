@@ -1,20 +1,37 @@
 // SystemModel: the full simulated deployment.
 //
-// Builds the cluster (nodes, tiers), one server object of *each* role per
-// node, and the routing fabric, organised into one or more "work lines"
-// (paper §III.B): a work line is a self-contained slice with at least one
-// node per tier and its own routers, so requests entering line g never touch
-// another line.  The common single-line topology is just lines = {1 spec}.
+// Builds the cluster (nodes, tiers), the server objects, and the routing
+// fabric, organised into one or more "work lines" (paper §III.B): a work
+// line is a self-contained slice with at least one node per tier and its
+// own routers, so requests entering line g never touch another line.  The
+// common single-line topology is just lines = {1 spec}.
 //
-// Every node eagerly owns a ProxyServer, AppServer and DbServer; only the
+// The model splits into two layers.  Immutable state — interaction tables,
+// mix distributions, the Zipf popularity CDF, catalogue metadata, hardware
+// profiles, the Configs — lives in core::ModelImmutable and is shared by
+// std::shared_ptr<const> across every replica and line (Config::shared).
+// Everything owned here is the mutable layer: event queues, networks,
+// routers, pools, RNG streams, histograms — small and strictly per-replica.
+//
+// Each node owns one server object per role it has ever played; only the
 // one matching the node's current tier is active and registered in the
-// line's routers.  Tier reconfiguration (paper §IV) is then: deregister the
-// old role, wait out the configuration cost F (optionally draining first),
-// activate the new role, register it.  In-flight requests complete on the
-// old role while the switch is pending — the paper's "uninterrupted
-// service" property.
+// line's routers.  Roles are created on demand (a db node never pays for a
+// proxy's cache index unless it is actually moved into the proxy tier);
+// Config::eager_roles restores the historical all-three-up-front layout.
+// Tier reconfiguration (paper §IV) is then: deregister the old role, wait
+// out the configuration cost F (optionally draining first), activate the
+// new role, register it.  In-flight requests complete on the old role while
+// the switch is pending — the paper's "uninterrupted service" property.
+//
+// Timelines.  The legacy constructor runs every line on one caller-owned
+// Simulator.  The sharded constructor gives each line its own Simulator,
+// network, monitor and (when enabled) health checker / fault injector —
+// lines share no mutable state, so run_all_until() can advance them on
+// separate ThreadPool threads and merge observations only at the barrier.
+// Results are bit-identical at any thread count (see DESIGN.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -25,6 +42,7 @@
 #include "cluster/health_checker.hpp"
 #include "cluster/load_balancer.hpp"
 #include "cluster/network.hpp"
+#include "common/thread_pool.hpp"
 #include "harmony/reconfig.hpp"
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
@@ -32,6 +50,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/monitor.hpp"
 #include "sim/simulator.hpp"
+#include "tpcw/zipf.hpp"
 #include "webstack/app_server.hpp"
 #include "webstack/db_server.hpp"
 #include "webstack/params.hpp"
@@ -39,6 +58,8 @@
 #include "webstack/router.hpp"
 
 namespace ah::core {
+
+class ModelImmutable;
 
 class SystemModel {
  public:
@@ -65,9 +86,24 @@ class SystemModel {
     /// Utilization sampling period for the reconfiguration monitor.
     common::SimTime monitor_period = common::SimTime::seconds(5.0);
     std::uint64_t seed = 1;
+    /// Shared immutable layer.  Replicas built from the same options point
+    /// at one copy (core::ParallelEvaluator fills this in when unset);
+    /// null means the model derives everything privately — behaviour is
+    /// identical either way, only the memory footprint differs.
+    std::shared_ptr<const ModelImmutable> shared;
+    /// Construct all three roles per node up front (the pre-sharding
+    /// layout).  Kept as the duplicated-model baseline bench_scale
+    /// measures the lazy default against.
+    bool eager_roles = false;
   };
 
+  /// Legacy single-timeline model: every line runs on `sim`.
   SystemModel(sim::Simulator& sim, const Config& config);
+
+  /// Sharded model: one owned Simulator per work line.  Use
+  /// run_all_until()/now() instead of simulator(); set_thread_pool()
+  /// enables parallel line execution.
+  explicit SystemModel(const Config& config);
 
   SystemModel(const SystemModel&) = delete;
   SystemModel& operator=(const SystemModel&) = delete;
@@ -78,15 +114,43 @@ class SystemModel {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] webstack::FrontendRouter& frontend(std::size_t line);
   [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  // -- Timelines ----------------------------------------------------------
+  /// True when each line owns its own timeline.
+  [[nodiscard]] bool sharded() const { return sharded_; }
+  /// The single shared timeline.  Throws std::logic_error on a sharded
+  /// model — per-line timelines are reached via line_simulator().
+  [[nodiscard]] sim::Simulator& simulator();
+  /// The timeline line `line` runs on (the shared one in legacy mode).
+  [[nodiscard]] sim::Simulator& line_simulator(std::size_t line);
+  /// Current virtual time.  On a sharded model this is only meaningful at
+  /// run_all_until() barriers, where every line's clock agrees.
+  [[nodiscard]] common::SimTime now() const;
+  /// Advances every timeline to `until` (inclusive).  With a thread pool
+  /// attached, lines run on separate threads; each line's event order is
+  /// its own either way, so results are bit-identical at any pool size.
+  void run_all_until(common::SimTime until);
+  /// Borrows a pool for run_all_until() fan-out (nullptr: run serially).
+  /// The pool must outlive this model or be detached before destruction.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+  /// Shared immutable layer, or null when this model owns its tables.
+  [[nodiscard]] const ModelImmutable* immutable() const {
+    return config_.shared.get();
+  }
+  /// Popularity table from the immutable layer (null without one).
+  [[nodiscard]] std::shared_ptr<const tpcw::ZipfSampler> shared_popularity()
+      const;
 
   /// Node ids belonging to a line, in creation order.
   [[nodiscard]] const std::vector<cluster::NodeId>& line_nodes(
       std::size_t line) const;
   /// Line a node belongs to.
   [[nodiscard]] std::size_t line_of(cluster::NodeId id) const;
-  /// All node ids.
-  [[nodiscard]] std::vector<cluster::NodeId> all_nodes() const;
+  /// All node ids in creation order.  Cached at construction (the node set
+  /// never changes afterwards; tier moves only relabel nodes).
+  [[nodiscard]] const std::vector<cluster::NodeId>& all_nodes() const {
+    return all_nodes_;
+  }
 
   // -- Parameter application -------------------------------------------
   /// Applies a full 23-value vector (catalogue order) to one node — only
@@ -102,6 +166,7 @@ class SystemModel {
                          std::span<const std::int64_t> values);
 
   // -- Server access -----------------------------------------------------
+  /// Role accessors create the role on first touch (see lazy roles above).
   [[nodiscard]] webstack::ProxyServer& proxy_on(cluster::NodeId id);
   [[nodiscard]] webstack::AppServer& app_on(cluster::NodeId id);
   [[nodiscard]] webstack::DbServer& db_on(cluster::NodeId id);
@@ -112,7 +177,9 @@ class SystemModel {
   /// Moves a node into `to` (paper §IV step 5).  The old role stops taking
   /// traffic immediately; the new role activates after `config_cost`
   /// (plus a drain wait unless `immediate`).  Throws std::logic_error when
-  /// the source tier would become empty.
+  /// the source tier would become empty, or on a sharded model (tier
+  /// membership is cross-line state; node moves need the single-timeline
+  /// mode — sharded models are for parameter tuning at scale).
   void move_node(cluster::NodeId id, cluster::TierKind to, bool immediate,
                  common::SimTime config_cost);
 
@@ -136,19 +203,30 @@ class SystemModel {
   };
 
   /// Starts health checking and arms per-hop timeouts + proxy resilience on
-  /// every line.  Idempotent (later calls just update the knobs).
+  /// every line.  Idempotent (later calls just update the knobs).  On a
+  /// sharded model each line gets its own checker scoped to its nodes.
   void enable_fault_tolerance(const FaultToleranceConfig& config);
   [[nodiscard]] bool fault_tolerance_enabled() const {
-    return health_ != nullptr;
+    return fault_tolerance_enabled_;
   }
+  /// Line 0's checker (the only one in legacy mode); null until
+  /// enable_fault_tolerance().
   [[nodiscard]] cluster::HealthChecker* health_checker() {
-    return health_.get();
+    return shards_[0].health.get();
   }
-  [[nodiscard]] cluster::Network& network() { return *network_; }
+  /// Line `line`'s checker; null until enable_fault_tolerance().
+  [[nodiscard]] cluster::HealthChecker* line_health_checker(std::size_t line);
+  /// Line 0's network fabric (the only one in legacy mode).
+  [[nodiscard]] cluster::Network& network() { return *shards_[0].network; }
+  /// The fabric carrying line `line`'s intra-line messages.
+  [[nodiscard]] cluster::Network& line_network(std::size_t line);
 
-  /// Schedules `plan` on this model's timeline; events are applied through
-  /// crash_node/restart_node/set_node_fail_slow and the network link-fault
-  /// hooks.  Re-installing replaces any previous plan.
+  /// Schedules `plan` on this model's timeline(s); events are applied
+  /// through crash_node/restart_node/set_node_fail_slow and the network
+  /// link-fault hooks.  Re-installing replaces any previous plan.  On a
+  /// sharded model events are partitioned by the subject node's line (a
+  /// both-ends-wildcard link event lands on every line), keeping fault
+  /// plans line-local.
   void install_fault_plan(const sim::FaultPlan& plan);
 
   /// Kills a node: it stops answering health probes, its active role
@@ -163,9 +241,11 @@ class SystemModel {
 
   /// Monotonic count of fault events and health-state transitions.
   /// Measurement windows snapshot it before/after to tag windows that
-  /// overlapped a disturbance (Experiment::run_iteration).
+  /// overlapped a disturbance (Experiment::run_iteration).  Atomic with
+  /// relaxed ordering: on a sharded model different lines' events bump it
+  /// concurrently; reads at run_all_until() barriers see a stable total.
   [[nodiscard]] std::uint64_t disturbance_count() const {
-    return disturbances_;
+    return disturbances_.load(std::memory_order_relaxed);
   }
 
   // -- Observability ------------------------------------------------------
@@ -173,11 +253,15 @@ class SystemModel {
   /// scheduler, router, server, pool, monitor and health counters plus the
   /// per-line latency histograms, all registered at construction.
   /// Snapshotting is on demand (cold path); nothing is pushed during
-  /// simulation, so the registry is invisible to the timeline.
+  /// simulation, so the registry is invisible to the timeline.  Aggregated
+  /// counters sum over shards in line order — snapshots are byte-identical
+  /// at any thread count.
   [[nodiscard]] obs::Registry& metrics() { return metrics_; }
 
   /// Attaches (nullptr: detaches) a span recorder to every server of every
   /// node.  Off by default; sampling inside the recorder is sequence-based.
+  /// Throws std::logic_error on a sharded model: the recorder's ring is a
+  /// single mutable buffer and lines must not share mutable state.
   void set_trace_recorder(obs::TraceRecorder* trace);
 
   /// Per-line latency histograms, always recording (passive observation):
@@ -194,7 +278,10 @@ class SystemModel {
   }
 
   // -- Monitoring ---------------------------------------------------------
-  [[nodiscard]] sim::UtilizationMonitor& monitor() { return *monitor_; }
+  /// Line 0's utilization monitor (the only one in legacy mode).
+  [[nodiscard]] sim::UtilizationMonitor& monitor() {
+    return *shards_[0].monitor;
+  }
   /// Snapshot of per-node readings for harmony::Reconfigurer, using the
   /// monitor's smoothed utilizations: [cpu, disk, nic, memory].
   [[nodiscard]] std::vector<harmony::NodeReading> readings();
@@ -210,7 +297,7 @@ class SystemModel {
     std::unique_ptr<webstack::ProxyServer> proxy;
     std::unique_ptr<webstack::AppServer> app;
     std::unique_ptr<webstack::DbServer> db;
-    // Monitor probe indices: cpu, disk, nic, memory.
+    // Monitor probe indices (cpu, disk, nic, memory) in the line's monitor.
     std::size_t probe_base = 0;
     bool moving = false;
   };
@@ -227,31 +314,60 @@ class SystemModel {
     obs::Histogram db_hop_latency;
   };
 
+  /// One timeline plus the per-timeline services.  Legacy mode has exactly
+  /// one (wrapping the caller's Simulator); sharded mode one per line.
+  struct Shard {
+    sim::Simulator* sim = nullptr;  // owned_sim.get() when owned
+    std::unique_ptr<sim::Simulator> owned_sim;
+    std::unique_ptr<cluster::Network> network;
+    std::unique_ptr<sim::UtilizationMonitor> monitor;
+    std::unique_ptr<cluster::HealthChecker> health;
+    std::unique_ptr<sim::FaultInjector> injector;
+  };
+
+  void build(const Config& config);
+  [[nodiscard]] Shard& shard_of_line(std::size_t line) {
+    return shards_[sharded_ ? line : 0];
+  }
+
   cluster::NodeId create_node(std::size_t line, cluster::TierKind tier,
                               const Config& config);
+  /// Role factories: create on demand with the same arguments (and, for
+  /// the db, the same seed) eager construction would have used, inactive
+  /// unless the role matches the node's current tier — so lazy and eager
+  /// models behave bit-identically.
+  webstack::ProxyServer& ensure_proxy(NodeState& state);
+  webstack::AppServer& ensure_app(NodeState& state);
+  webstack::DbServer& ensure_db(NodeState& state);
+  void deactivate_unless_current(NodeState& state, cluster::TierKind role);
   void register_active(NodeState& state);
   void deregister_active(NodeState& state, cluster::TierKind role);
-  void activate_role(cluster::NodeId id, cluster::TierKind role);
   void finish_move(cluster::NodeId id, cluster::TierKind to,
                    common::SimTime config_cost);
   /// FaultInjector dispatcher: maps generic fault events onto this model.
-  void apply_fault(const sim::FaultEvent& event);
+  /// `shard` routes link faults to the right line's network.
+  void apply_fault(std::size_t shard, const sim::FaultEvent& event);
   /// set_active(on/off) for the role matching the node's current tier.
   void set_role_active(NodeState& state, bool active);
   /// Registers every pull source with metrics_ (end of construction).
   void register_metrics();
 
-  sim::Simulator& sim_;
   Config config_;
+  bool sharded_ = false;
+  common::ThreadPool* pool_ = nullptr;
+  /// Owns the sharded Simulators — declared first so every member that
+  /// references a timeline is destroyed before it.
+  std::vector<Shard> shards_;
   std::unique_ptr<cluster::Cluster> cluster_;
-  std::unique_ptr<cluster::Network> network_;
-  std::unique_ptr<sim::UtilizationMonitor> monitor_;
   std::vector<Line> lines_;
   std::vector<NodeState> nodes_;
-  std::unique_ptr<cluster::HealthChecker> health_;
-  std::unique_ptr<sim::FaultInjector> injector_;
+  std::vector<cluster::NodeId> all_nodes_;
   obs::Registry metrics_;
-  std::uint64_t disturbances_ = 0;
+  std::atomic<std::uint64_t> disturbances_{0};
+  bool fault_tolerance_enabled_ = false;
+  /// Remembered for roles created after the respective setter ran.
+  webstack::ProxyServer::Resilience proxy_resilience_{};
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ah::core

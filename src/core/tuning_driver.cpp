@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "core/model_immutable.hpp"
 #include "core/parallel_evaluator.hpp"
 
 namespace ah::core {
@@ -253,6 +254,11 @@ void TuningDriver::explore_parallel(TuningResult& result,
     const std::size_t lines = system_.line_count();
     const int browsers_per_line =
         std::max(1, experiment.browsers / static_cast<int>(lines));
+    // Every line's replica set samples the same item scale, so one
+    // popularity CDF serves all lines × replicas of the whole exploration.
+    const tpcw::Workload::Config workload_defaults{};
+    const auto popularity = std::make_shared<const tpcw::ZipfSampler>(
+        experiment.item_count, workload_defaults.zipf_alpha);
     std::vector<std::vector<double>> line_series(lines);
     for (std::size_t line = 0; line < lines; ++line) {
       ParallelEvaluator::Options options;
@@ -262,6 +268,8 @@ void TuningDriver::explore_parallel(TuningResult& result,
       options.experiment = experiment;
       options.experiment.browsers = browsers_per_line;
       options.experiment.seed = common::mix_seed(experiment.seed, line);
+      options.topology.shared = make_model_immutable(
+          options.topology, options.experiment, popularity);
       options.replicas = replica_count_for(catalogue_size);
       ParallelEvaluator evaluator(pool, options);
       std::vector<double>& series = line_series[line];
@@ -407,21 +415,34 @@ TuningResult TuningDriver::run(std::size_t iterations,
   TuningResult result;
   result.wips_series.reserve(iterations);
 
+  // A sharded system parallelises *within* the model — one task per work
+  // line inside each run_all_until barrier — so candidates keep the paper's
+  // exact sequential back-to-back protocol while threads still buy
+  // wall-clock speed.  The pool is attached for the whole run (exploration
+  // and validation both advance the timelines) and detached on every exit.
+  std::unique_ptr<common::ThreadPool> line_pool;
+  if (system_.sharded() && options_.threads != 1) {
+    line_pool = std::make_unique<common::ThreadPool>(options_.threads);
+    system_.set_thread_pool(line_pool.get());
+  }
+
   if (options_.method == TuningMethod::kNone) {
     explore_sequential(result, iterations);
     result.best_configuration = webstack::default_values();
     result.best_wips = result.mean_wips(0, iterations);
     result.validated_wips = result.best_wips;
     result.converged_at = 0;
+    if (line_pool != nullptr) system_.set_thread_pool(nullptr);
     return result;
   }
 
-  if (options_.threads == 1) {
+  if (options_.threads == 1 || system_.sharded()) {
     explore_sequential(result, iterations);
   } else {
     explore_parallel(result, iterations);
   }
   finalize(result, validation_iterations);
+  if (line_pool != nullptr) system_.set_thread_pool(nullptr);
   return result;
 }
 

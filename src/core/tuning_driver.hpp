@@ -93,7 +93,10 @@ class TuningDriver {
     /// Evaluation workers: 1 = legacy sequential on the live system (the
     /// paper's measurement semantics; the default), 0 = one worker per
     /// hardware thread, N >= 2 = N workers.  Any value != 1 switches to
-    /// replica-set evaluation (see header comment).
+    /// replica-set evaluation (see header comment) — unless the system is
+    /// sharded (one timeline per work line), in which case the sequential
+    /// protocol is kept and the workers instead advance the work-line
+    /// timelines concurrently inside each measurement window.
     std::size_t threads = 1;
     /// Replica timelines for parallel evaluation; 0 = auto
     /// (min(dimensions + 1, 16), i.e. enough for a full initial simplex).

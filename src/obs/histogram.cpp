@@ -4,6 +4,11 @@
 
 namespace ah::obs {
 
+Histogram::Page& Histogram::touch_page(std::size_t p) {
+  if (pages_[p] == nullptr) pages_[p] = std::make_unique<Page>();
+  return *pages_[p];
+}
+
 std::uint64_t Histogram::percentile_us(double q) const {
   if (count_ == 0) return 0;
   if (q >= 1.0) return max_us_;
@@ -15,7 +20,12 @@ std::uint64_t Histogram::percentile_us(double q) const {
   const std::size_t last = bucket_index(max_us_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i <= last; ++i) {
-    seen += counts_[i];
+    // Skip octaves that were never paged in (every counter in them is 0).
+    if (pages_[i >> kSubBits] == nullptr) {
+      i |= static_cast<std::size_t>(kSubBuckets - 1);
+      continue;
+    }
+    seen += bucket(i);
     if (seen >= rank) {
       // The highest occupied bucket contains the maximum; report it exactly
       // rather than the bucket's lower bound.

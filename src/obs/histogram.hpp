@@ -11,9 +11,18 @@
 // group g >= 1 covers [32 * 2^(g-1), 32 * 2^g) in 32 equal sub-buckets, so
 // relative bucket width is bounded by 1/32 ≈ 3.1% everywhere.  Group g's
 // buckets start at index (g + 1) * 32 — the branch-free index formula leaves
-// slots [32, 64) unused — so the full 64-bit range (groups 0..59) needs
-// 61 * 32 = 1952 buckets (~15 KiB of counters), allocated once at
-// construction; recording never allocates.
+// slots [32, 64) unused — so the full 64-bit range (groups 0..59) spans
+// 61 * 32 = 1952 bucket indices.
+//
+// Counters are paged: one 32-counter page per octave group, allocated on
+// the first record that touches the group and retained across reset().  A
+// real latency population occupies a handful of octaves, so an idle
+// histogram costs its 61-pointer page table instead of a 15 KiB slab —
+// which is what keeps the per-line telemetry of a 128-line model (dozens
+// of histograms per line) in the noise.  A warmed-up histogram's record
+// path is still a pure array increment: every octave the workload can
+// reach is paged in during warm-up, which is why the zero-allocation
+// request-path property (zero_alloc_test) measures after warm-up.
 //
 // Percentiles use the exact-rank method: rank = ceil(q * count), walk the
 // buckets accumulating counts, report the lower bound of the bucket that
@@ -23,10 +32,10 @@
 // platform and at every thread count.
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "common/units.hpp"
 
@@ -42,15 +51,20 @@ class Histogram {
   /// so that bucket_index stays branch-free).
   static constexpr std::size_t kBucketCount =
       static_cast<std::size_t>(kGroups + 2) * kSubBuckets;   // 1952
+  /// One counter page per octave group.
+  static constexpr std::size_t kPageCount = kBucketCount / kSubBuckets;  // 61
 
-  /// Allocates the counter slab once; recording is allocation-free.
-  Histogram() : counts_(kBucketCount, 0) {}
+  Histogram() = default;
 
   /// Records one value in integer microseconds.  Hot path: in
   /// AH_HOT_PATH_FILE files call through AH_OBS_RECORD_US, never directly
-  /// (enforced by ah_lint rule obs_hot_path).
+  /// (enforced by ah_lint rule obs_hot_path).  Allocation-free once the
+  /// value's octave page exists (first touch pages it in, out of line).
   void record_us(std::uint64_t us) {
-    counts_[bucket_index(us)] += 1;
+    const std::size_t i = bucket_index(us);
+    Page* page = pages_[i >> kSubBits].get();
+    if (page == nullptr) page = &touch_page(i >> kSubBits);
+    page->counts[i & (kSubBuckets - 1)] += 1;
     ++count_;
     sum_us_ += us;
     if (us > max_us_) max_us_ = us;
@@ -63,9 +77,11 @@ class Histogram {
     record_us(us > 0 ? static_cast<std::uint64_t>(us) : 0u);
   }
 
-  /// Clears all counters; capacity (the slab) is retained.
+  /// Clears all counters; capacity (the paged-in octaves) is retained.
   void reset() {
-    std::fill(counts_.begin(), counts_.end(), 0u);
+    for (auto& page : pages_) {
+      if (page != nullptr) page->counts.fill(0);
+    }
     count_ = 0;
     sum_us_ = 0;
     max_us_ = 0;
@@ -73,10 +89,17 @@ class Histogram {
   }
 
   /// Adds another histogram's counts into this one (bucket-wise).  Used to
-  /// combine per-line meters into one per-iteration distribution.
+  /// combine per-line meters into one per-iteration distribution.  Pages
+  /// occupied only on the other side are paged in here (cold path).
   void merge(const Histogram& other) {
-    for (std::size_t i = 0; i < kBucketCount; ++i) {
-      counts_[i] += other.counts_[i];
+    for (std::size_t p = 0; p < kPageCount; ++p) {
+      const Page* theirs = other.pages_[p].get();
+      if (theirs == nullptr) continue;
+      Page& ours = touch_page(p);
+      for (std::size_t j = 0; j < static_cast<std::size_t>(kSubBuckets);
+           ++j) {
+        ours.counts[j] += theirs->counts[j];
+      }
     }
     count_ += other.count_;
     sum_us_ += other.sum_us_;
@@ -133,11 +156,21 @@ class Histogram {
   }
 
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
-    return counts_[i];
+    const Page* page = pages_[i >> kSubBits].get();
+    return page != nullptr ? page->counts[i & (kSubBuckets - 1)] : 0;
   }
 
  private:
-  std::vector<std::uint64_t> counts_;
+  struct Page {
+    std::array<std::uint64_t, kSubBuckets> counts{};
+  };
+
+  /// Returns group page `p`, allocating it on first touch.  Out of line:
+  /// this header is hot-path (ah_lint hot_path_alloc), and paging in an
+  /// octave is the rare cold branch of record_us().
+  [[nodiscard]] Page& touch_page(std::size_t p);
+
+  std::array<std::unique_ptr<Page>, kPageCount> pages_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_us_ = 0;
   std::uint64_t max_us_ = 0;

@@ -3,6 +3,10 @@
 #include <array>
 #include <cassert>
 
+#include "common/analysis.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
+
 namespace ah::tpcw {
 
 namespace {

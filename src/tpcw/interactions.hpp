@@ -11,7 +11,10 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/analysis.hpp"
 #include "webstack/request.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
 
 namespace ah::tpcw {
 

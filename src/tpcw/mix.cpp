@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "common/analysis.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
+
 namespace ah::tpcw {
 
 std::string_view workload_name(WorkloadKind kind) {

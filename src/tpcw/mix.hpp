@@ -10,8 +10,11 @@
 #include <array>
 #include <string_view>
 
+#include "common/analysis.hpp"
 #include "common/rng.hpp"
 #include "tpcw/interactions.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
 
 namespace ah::tpcw {
 

@@ -11,10 +11,19 @@ Workload::Workload(sim::Simulator& sim, webstack::FrontendRouter& frontend,
       frontend_(frontend),
       mix_(mix),
       meter_(meter),
-      config_(config),
-      item_popularity_(config.item_count, config.zipf_alpha) {
+      config_(config) {
   assert(mix_ != nullptr);
   assert(config_.browsers > 0);
+  if (config_.shared_popularity != nullptr &&
+      config_.shared_popularity->size() == config_.item_count &&
+      config_.shared_popularity->alpha() == config_.zipf_alpha) {
+    shared_popularity_ = config_.shared_popularity;
+    popularity_ = shared_popularity_.get();
+  } else {
+    owned_popularity_ =
+        std::make_unique<ZipfSampler>(config_.item_count, config_.zipf_alpha);
+    popularity_ = owned_popularity_.get();
+  }
   common::Rng seeder(config_.seed);
   browser_rngs_.reserve(static_cast<std::size_t>(config_.browsers));
   for (int i = 0; i < config_.browsers; ++i) {
@@ -65,7 +74,7 @@ webstack::Request Workload::make_request(common::Rng& rng) {
     const std::uint64_t space = object_space(interaction, config_.item_count);
     std::uint64_t sub_id = 0;
     if (interaction == Interaction::kProductDetail) {
-      sub_id = item_popularity_.sample(rng);
+      sub_id = popularity_->sample(rng);
     } else if (space > 1) {
       sub_id = static_cast<std::uint64_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));

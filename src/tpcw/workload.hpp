@@ -51,6 +51,12 @@ class Workload {
     /// opt into growth/jitter to avoid synchronized retry storms.
     webstack::RetryPolicy retry;
     std::uint64_t seed = 2004;
+    /// Optional pre-built item-popularity table.  When it matches
+    /// (item_count, zipf_alpha) the workload samples from it instead of
+    /// building a private copy — many lines/replicas then share one CDF
+    /// (~120 KB at the TPC-W 10k scale).  Sampling draws from the caller's
+    /// RNG, so a shared table is bit-identical to a private one.
+    std::shared_ptr<const ZipfSampler> shared_popularity;
   };
 
   Workload(sim::Simulator& sim, webstack::FrontendRouter& frontend,
@@ -86,6 +92,11 @@ class Workload {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t interactions_issued() const { return issued_; }
 
+  /// The popularity table actually in use (shared or privately owned).
+  [[nodiscard]] const ZipfSampler& item_popularity() const {
+    return *popularity_;
+  }
+
  private:
   /// Parked state for a backed-off retry: Request + bookkeeping exceeds the
   /// 48-byte EventFn inline buffer, so the scheduled closure captures one
@@ -114,7 +125,12 @@ class Workload {
   WipsMeter& meter_;
   Config config_;
 
-  ZipfSampler item_popularity_;
+  /// Popularity table: a shared read-only CDF when the config supplies a
+  /// matching one, otherwise a privately built copy.  popularity_ points at
+  /// whichever is active.
+  std::shared_ptr<const ZipfSampler> shared_popularity_;
+  std::unique_ptr<ZipfSampler> owned_popularity_;
+  const ZipfSampler* popularity_ = nullptr;
   common::ObjectPool<Retry> retries_;
   std::vector<common::Rng> browser_rngs_;
   std::array<obs::Histogram, kInteractionCount> interaction_latency_;

@@ -5,6 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/analysis.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
+
 namespace ah::tpcw {
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {

@@ -12,7 +12,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/analysis.hpp"
 #include "common/rng.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
 
 namespace ah::tpcw {
 

@@ -2,7 +2,10 @@
 
 #include <stdexcept>
 
+#include "common/analysis.hpp"
 #include "common/fmt.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
 
 namespace ah::webstack {
 

@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "cluster/tier.hpp"
+#include "common/analysis.hpp"
 #include "common/units.hpp"
+
+AH_IMMUTABLE_STATE_FILE;
 
 namespace ah::webstack {
 

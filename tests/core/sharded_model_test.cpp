@@ -1,0 +1,236 @@
+// Sharded per-line timelines: determinism across thread counts, equivalence
+// with the legacy single-timeline mode, line-local fault plans, and the
+// shared immutable model layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/experiment.hpp"
+#include "core/model_immutable.hpp"
+#include "core/parallel_evaluator.hpp"
+#include "core/system_model.hpp"
+#include "core/tuning_driver.hpp"
+
+namespace ah::core {
+namespace {
+
+using cluster::TierKind;
+using common::SimTime;
+
+SystemModel::Config lines_config(std::vector<SystemModel::LineSpec> lines) {
+  SystemModel::Config config;
+  config.lines = std::move(lines);
+  return config;
+}
+
+Experiment::Config fast_experiment(int browsers = 160) {
+  Experiment::Config config;
+  config.browsers = browsers;
+  config.iteration.warmup = SimTime::seconds(5.0);
+  config.iteration.measure = SimTime::seconds(20.0);
+  config.iteration.cooldown = SimTime::seconds(2.0);
+  return config;
+}
+
+/// Runs `iterations` on a freshly built sharded system with `threads`
+/// worker threads (1 = serial) and returns every per-line WIPS reading
+/// plus the final registry snapshot.
+struct ShardedRun {
+  std::vector<double> wips;
+  std::string registry_json;
+};
+
+ShardedRun run_sharded(std::size_t threads, std::size_t iterations) {
+  SystemModel system(lines_config({{1, 1, 1}, {1, 2, 1}, {2, 1, 1}, {1, 1, 1}}));
+  std::unique_ptr<common::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(threads);
+    system.set_thread_pool(pool.get());
+  }
+  Experiment experiment(system, fast_experiment(240));
+  ShardedRun run;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const IterationResult result = experiment.run_iteration();
+    run.wips.push_back(result.wips);
+    run.wips.insert(run.wips.end(), result.line_wips.begin(),
+                    result.line_wips.end());
+  }
+  run.registry_json = system.metrics().json_string();
+  system.set_thread_pool(nullptr);
+  return run;
+}
+
+TEST(ShardedModelTest, ShardedTimelineDeterminism) {
+  // The headline contract: WIPS series and the full registry snapshot are
+  // byte-identical whether the lines run serially or on 2 or 8 threads.
+  const ShardedRun serial = run_sharded(1, 3);
+  const ShardedRun two = run_sharded(2, 3);
+  const ShardedRun eight = run_sharded(8, 3);
+  EXPECT_EQ(serial.wips, two.wips);
+  EXPECT_EQ(serial.wips, eight.wips);
+  EXPECT_EQ(serial.registry_json, two.registry_json);
+  EXPECT_EQ(serial.registry_json, eight.registry_json);
+}
+
+TEST(ShardedModelTest, ShardedMatchesLegacyPerLineWips) {
+  // Without faults or health checking, a line's event stream is identical
+  // whether it shares one timeline with its peers or owns a private one —
+  // so per-line WIPS agree exactly between the two modes.
+  const auto topology = lines_config({{1, 1, 1}, {1, 1, 1}});
+  std::vector<double> legacy_wips;
+  std::vector<double> sharded_wips;
+  {
+    sim::Simulator sim;
+    SystemModel system(sim, topology);
+    Experiment experiment(system, fast_experiment());
+    for (int i = 0; i < 2; ++i) {
+      const auto result = experiment.run_iteration();
+      legacy_wips.insert(legacy_wips.end(), result.line_wips.begin(),
+                         result.line_wips.end());
+    }
+  }
+  {
+    SystemModel system(topology);
+    Experiment experiment(system, fast_experiment());
+    for (int i = 0; i < 2; ++i) {
+      const auto result = experiment.run_iteration();
+      sharded_wips.insert(sharded_wips.end(), result.line_wips.begin(),
+                          result.line_wips.end());
+    }
+  }
+  EXPECT_EQ(legacy_wips, sharded_wips);
+}
+
+TEST(ShardedModelTest, AsymmetricLinesApplyValuesLineIsScoped) {
+  SystemModel system(lines_config({{2, 1, 1}, {1, 3, 1}, {1, 1, 2}}));
+  ASSERT_EQ(system.line_count(), 3u);
+  EXPECT_EQ(system.cluster().node_count(), 4u + 5u + 4u);
+  for (std::size_t line = 0; line < 3; ++line) {
+    for (const auto id : system.line_nodes(line)) {
+      EXPECT_EQ(system.line_of(id), line);
+    }
+  }
+  auto values = webstack::default_values();
+  values[webstack::catalogue_index("maxProcessors")] = 321;
+  system.apply_values_line(1, values);
+  for (std::size_t line = 0; line < 3; ++line) {
+    for (const auto id : system.line_nodes(line)) {
+      if (system.cluster().tier_of(id) != TierKind::kApp) continue;
+      EXPECT_EQ(system.app_on(id).params().max_processors,
+                line == 1 ? 321 : webstack::AppParams{}.max_processors);
+    }
+  }
+}
+
+TEST(ShardedModelTest, FaultPlanStaysLineLocal) {
+  SystemModel system(lines_config({{1, 1, 1}, {1, 1, 1}}));
+  const auto victim = system.line_nodes(1).at(0);
+  sim::FaultPlan plan;
+  sim::FaultEvent crash;
+  crash.kind = sim::FaultEvent::Kind::kCrash;
+  crash.at = SimTime::seconds(1.0);
+  crash.node = victim;
+  plan.events.push_back(crash);
+  system.install_fault_plan(plan);
+  system.run_all_until(SimTime::seconds(2.0));
+  EXPECT_FALSE(system.cluster().node(victim).alive());
+  for (const auto id : system.line_nodes(0)) {
+    EXPECT_TRUE(system.cluster().node(id).alive());
+  }
+  EXPECT_EQ(system.disturbance_count(), 1u);
+}
+
+TEST(ShardedModelTest, PerLineHealthCheckersAreScoped) {
+  SystemModel system(lines_config({{1, 1, 1}, {1, 1, 1}}));
+  system.enable_fault_tolerance({});
+  for (std::size_t line = 0; line < 2; ++line) {
+    auto* checker = system.line_health_checker(line);
+    ASSERT_NE(checker, nullptr);
+    EXPECT_EQ(checker->scope(), system.line_nodes(line));
+  }
+  // A crash in line 1 is marked down by line 1's checker; line 0's marks
+  // are untouched.
+  const auto victim = system.line_nodes(1).at(0);
+  system.run_all_until(SimTime::seconds(1.0));
+  system.crash_node(victim);
+  system.run_all_until(
+      SimTime::seconds(1.0) +
+      cluster::HealthChecker::probe_budget(
+          system.line_health_checker(1)->config()));
+  EXPECT_FALSE(system.cluster().node(victim).marked_up());
+  for (const auto id : system.line_nodes(0)) {
+    EXPECT_TRUE(system.cluster().node(id).marked_up());
+  }
+}
+
+TEST(ShardedModelTest, SingleTimelineAccessorsThrowWhenSharded) {
+  SystemModel system(lines_config({{1, 1, 1}, {1, 1, 1}}));
+  EXPECT_THROW(static_cast<void>(system.simulator()), std::logic_error);
+  EXPECT_THROW(
+      system.move_node(system.line_nodes(0).at(0), TierKind::kApp, true,
+                       SimTime::seconds(1.0)),
+      std::logic_error);
+  obs::TraceRecorder trace(16);
+  EXPECT_THROW(system.set_trace_recorder(&trace), std::logic_error);
+  EXPECT_NO_THROW(system.set_trace_recorder(nullptr));
+  EXPECT_NO_THROW(static_cast<void>(system.line_simulator(1)));
+  EXPECT_THROW(static_cast<void>(system.line_simulator(2)),
+               std::out_of_range);
+}
+
+TEST(ShardedModelTest, AllNodesIsCachedAndStable) {
+  SystemModel system(lines_config({{1, 2, 1}, {1, 1, 1}}));
+  const auto* first = &system.all_nodes();
+  const auto* second = &system.all_nodes();
+  EXPECT_EQ(first, second);  // same vector, not a fresh copy per call
+  ASSERT_EQ(first->size(), system.cluster().node_count());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], static_cast<cluster::NodeId>(i));
+  }
+}
+
+TEST(ShardedModelTest, ReplicasShareOneImmutableLayer) {
+  common::ThreadPool pool(2);
+  ParallelEvaluator::Options options;
+  options.topology = lines_config({{1, 1, 1}});
+  options.experiment = fast_experiment(60);
+  options.replicas = 3;
+  ParallelEvaluator evaluator(pool, options);
+  const ModelImmutable* layer = evaluator.replica_system(0).immutable();
+  ASSERT_NE(layer, nullptr);
+  const auto popularity = evaluator.replica_system(0).shared_popularity();
+  ASSERT_NE(popularity, nullptr);
+  for (std::size_t r = 1; r < 3; ++r) {
+    EXPECT_EQ(evaluator.replica_system(r).immutable(), layer);
+    EXPECT_EQ(evaluator.replica_system(r).shared_popularity(), popularity);
+  }
+  EXPECT_EQ(layer->line_count(), 1u);
+  EXPECT_EQ(layer->node_count(), 3u);
+  // The layer's topology copy must not point at itself.
+  EXPECT_EQ(layer->topology().shared, nullptr);
+}
+
+TEST(ShardedModelTest, TuningDriverRunsShardedWithThreads) {
+  // threads != 1 on a sharded system keeps the sequential candidate
+  // protocol (intra-model parallelism only) — the series must match the
+  // single-threaded run exactly.
+  std::vector<double> series_1;
+  std::vector<double> series_4;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SystemModel system(lines_config({{1, 1, 1}, {1, 1, 1}}));
+    Experiment experiment(system, fast_experiment());
+    TuningDriver::Options options;
+    options.method = TuningMethod::kDuplication;
+    options.threads = threads;
+    TuningDriver driver(system, experiment, options);
+    const TuningResult result = driver.run(4, 0);
+    (threads == 1 ? series_1 : series_4) = result.wips_series;
+  }
+  EXPECT_EQ(series_1, series_4);
+}
+
+}  // namespace
+}  // namespace ah::core

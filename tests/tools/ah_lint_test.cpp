@@ -73,6 +73,18 @@ TEST(AhLintTest, ObsHotPathFiresExactlyOnce) {
   EXPECT_EQ(count(result.output, "[obs_hot_path]"), 1u) << result.output;
 }
 
+TEST(AhLintTest, SharedStateFiresOnStaticAndMutableOnly) {
+  // One non-const static + one mutable member fire; const/constexpr
+  // statics, static_cast, static_assert, and the suppressed sites do not.
+  const RunResult result = run_lint(fixture("shared_state.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[shared_state]"), 2u) << result.output;
+  EXPECT_NE(result.output.find("shared_state.cpp:15:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("shared_state.cpp:16:"), std::string::npos)
+      << result.output;
+}
+
 TEST(AhLintTest, FindingsCarryFileAndLine) {
   const RunResult result = run_lint(fixture("hot_path_alloc.cpp"));
   // `file:line: [rule]` so editors can jump to the finding.
@@ -97,13 +109,15 @@ TEST(AhLintTest, DirectoryScanAggregatesFindings) {
   EXPECT_EQ(count(result.output, "[pooling]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[obs_hot_path]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[shared_state]"), 2u) << result.output;
 }
 
 TEST(AhLintTest, ListRulesNamesEveryRule) {
   const RunResult result = run_lint("--list-rules");
   EXPECT_EQ(result.exit_code, 0);
   for (const char* rule : {"hot_path_alloc", "determinism", "pooling",
-                           "include_hygiene", "obs_hot_path"}) {
+                           "include_hygiene", "obs_hot_path",
+                           "shared_state"}) {
     EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
   }
 }

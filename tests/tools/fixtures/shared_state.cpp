@@ -1,0 +1,23 @@
+// ah_lint fixture: exactly two shared_state findings — one non-const
+// static, one mutable member.  The const/constexpr statics, static_cast,
+// static_assert, the suppressed sites, and tokens in comments (mutable,
+// static int) must not fire.  Never compiled — scanned by ah_lint_test only.
+AH_IMMUTABLE_STATE_FILE;
+
+static const int kTable[] = {1, 2, 3};     // const table: allowed
+static constexpr double kAlpha = 0.8;      // constexpr: allowed
+
+class PopularityTable {
+ public:
+  int rank(double u) const { return static_cast<int>(u); }  // cast: allowed
+
+ private:
+  static int call_count;          // the non-const-static finding
+  mutable int cached_rank_ = -1;  // the mutable finding
+};
+
+static_assert(sizeof(PopularityTable) > 0, "no whitespace after static");
+
+AH_LINT_ALLOW(shared_state, "fixture: line-above suppression");
+static int suppressed_counter = 0;
+static bool suppressed_flag = false;  AH_LINT_ALLOW(shared_state, "fixture: same-line form");

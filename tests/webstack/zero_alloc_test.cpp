@@ -163,8 +163,9 @@ TEST_F(ZeroAllocTest, SteadyStateRequestPathDoesNotAllocate) {
 TEST_F(ZeroAllocTest, TelemetryRecordingDoesNotAllocate) {
   // Same steady-state property with the full telemetry layer switched on:
   // hop histograms on every router and a span recorder sampling every
-  // request.  Histogram buckets and the trace slab are sized in their
-  // constructors, so recording must be pure stores/increments.
+  // request.  The trace slab is sized at construction and histogram octave
+  // pages are faulted in during warm-up, so steady-state recording must be
+  // pure stores/increments.
   RequestProfile dynamic_db;
   dynamic_db.name = "dyn-db";
   dynamic_db.cacheable = false;

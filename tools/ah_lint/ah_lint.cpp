@@ -18,6 +18,10 @@
 //   R5 obs_hot_path     — telemetry record calls in hot-path files must go
 //                         through the AH_OBS_* macros (null-checked,
 //                         sampling-gated), never direct method calls.
+//   R6 shared_state     — AH_IMMUTABLE_STATE_FILE-annotated files (the
+//                         model layer shared read-only across replica and
+//                         work-line threads) must not define non-const
+//                         statics or `mutable` members.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 #include <algorithm>
@@ -73,6 +77,12 @@ constexpr RuleDoc kRules[] = {
      "(record_us/record_span/record) directly: use AH_OBS_RECORD_US, "
      "AH_OBS_RECORD_SPAN, or AH_OBS_TRACE_SPAN, which null-check the sink "
      "(and gate tracing on the sampling predicate) before touching it."},
+    {"shared_state",
+     "AH_IMMUTABLE_STATE_FILE files hold model state shared read-only across "
+     "replica and work-line threads: no non-const statics (hidden writable "
+     "globals race across threads) and no `mutable` members (writes through "
+     "const references defeat the shared-const safety argument). Use static "
+     "const/constexpr tables, or move the state to the mutable layer."},
 };
 
 void list_rules() {
@@ -261,6 +271,27 @@ const std::vector<Check>& determinism_checks() {
   return checks;
 }
 
+const std::vector<Check>& shared_state_checks() {
+  static const std::vector<Check> checks = [] {
+    std::vector<Check> c;
+    // `static` not followed by const/constexpr.  static_assert/static_cast
+    // never match: no whitespace follows the keyword there.
+    c.push_back({"shared_state",
+                 std::regex(R"((^|[^_A-Za-z0-9])static\s+(?!const\b|constexpr\b))"),
+                 "non-const static in an immutable-layer file: a hidden "
+                 "writable global shared by every replica and work-line "
+                 "thread; make it static const/constexpr or move it to the "
+                 "mutable layer"});
+    c.push_back({"shared_state",
+                 std::regex(R"((^|[^_A-Za-z0-9])mutable\b)"),
+                 "mutable member in an immutable-layer file: writes through "
+                 "const references defeat the shared-const thread-safety "
+                 "argument; move the state to the mutable layer"});
+    return c;
+  }();
+  return checks;
+}
+
 class Linter {
  public:
   void scan_file(const fs::path& path) {
@@ -282,19 +313,23 @@ class Linter {
     // text keeps the linter independent of how they expand.
     static const std::regex kAllow(R"(AH_LINT_ALLOW\s*\(\s*([A-Za-z_]+))");
     static const std::regex kHotPath(R"(^\s*AH_HOT_PATH_FILE\s*;)");
+    static const std::regex kImmutable(R"(^\s*AH_IMMUTABLE_STATE_FILE\s*;)");
     std::set<std::pair<std::size_t, std::string>> allows;  // (line, rule)
     bool hot_path = false;
+    bool immutable = false;
     for (std::size_t i = 0; i < raw_lines.size(); ++i) {
       std::smatch match;
       if (std::regex_search(raw_lines[i], match, kAllow)) {
         allows.emplace(i + 1, match[1].str());
       }
       if (std::regex_search(raw_lines[i], kHotPath)) hot_path = true;
+      if (std::regex_search(raw_lines[i], kImmutable)) immutable = true;
     }
 
     std::vector<const std::vector<Check>*> active;
     if (hot_path) active.push_back(&hot_path_checks());
     if (in_determinism_scope(path)) active.push_back(&determinism_checks());
+    if (immutable) active.push_back(&shared_state_checks());
 
     for (std::size_t i = 0; i < lines.size(); ++i) {
       const std::string& line = lines[i];
