@@ -36,6 +36,7 @@ bool HealthChecker::node_up(NodeId id) const {
 }
 
 void HealthChecker::tick() {
+  AH_HOT_ENTRY;  // periodic probe sweep driven by the event loop
   if (states_.size() < cluster_.node_count()) {
     states_.resize(cluster_.node_count());
   }

@@ -19,6 +19,13 @@
 //   AH_ASSERT_POOLED_CALL(T)
 //                           static_assert audit for per-request call
 //                           structs parked in common::ObjectPool.
+//   AH_HOT_ENTRY            statement-level taint seed: marks the enclosing
+//                           function (or lambda) as a hot-path entry point;
+//                           ah_lint propagates reachability from the seeds
+//                           through the call graph (rule hot_path_reach).
+//   AH_LAYERING_ALLOW(reason)
+//                           suppresses a layering finding on the next line
+//                           (a justified exception to the include DAG).
 //
 // The markers compile to nothing; ah_lint matches them textually.
 #pragma once
@@ -35,6 +42,21 @@
 /// is a string literal justifying the exception.
 #define AH_LINT_ALLOW(rule, reason) \
   static_assert(true, "ah-lint: allow " #rule ": " reason)
+
+/// Statement-level hot-path taint seed.  Place as the first statement of a
+/// request/event entry point (`AH_HOT_ENTRY;`): ah_lint marks the enclosing
+/// function or lambda as hot and propagates reachability through the call
+/// graph, so allocation rules follow the code, not the file annotations.
+/// Seed the boundaries where hot traffic ENTERS the system — workload issue
+/// loops, timer-driven ticks, and the wiring closures that carry requests
+/// across type-erased callbacks — not every function they reach.
+#define AH_HOT_ENTRY \
+  static_assert(true, "ah-lint: hot-path taint seed for the enclosing function")
+
+/// Suppresses an ah_lint `layering` finding on this line or the next one —
+/// a justified exception to the include-layer DAG (see DESIGN.md).
+#define AH_LAYERING_ALLOW(reason) \
+  static_assert(true, "ah-lint: allow layering: " reason)
 
 /// Marks a file as part of the immutable model layer: state defined here is
 /// shared read-only across replicas and work-line threads, so the file must

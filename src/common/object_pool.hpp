@@ -18,6 +18,12 @@
 #include <deque>
 #include <vector>
 
+#include "common/analysis.hpp"
+
+// acquire()/release() run once per request hop; the pool exists so the rest
+// of the hot path never allocates.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 template <typename T>
@@ -53,6 +59,9 @@ class ObjectPool {
   }
 
  private:
+  // The pool's own backing store; growth stops once warm-up reaches peak
+  // concurrency, so the steady state allocates nothing.
+  AH_LINT_ALLOW(pooling, "backing store: deque growth never moves slots");
   std::deque<T> items_;   // deque: growth never moves existing slots
   std::vector<T*> free_;
 };

@@ -17,6 +17,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis.hpp"
+
+// Request/work queues cycle through this on every enqueue/dequeue.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 template <typename T>

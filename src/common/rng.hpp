@@ -16,6 +16,11 @@
 #include <cstdint>
 #include <numbers>
 
+#include "common/analysis.hpp"
+
+// Every simulated arrival, service draw, and think time samples from here.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 /// splitmix64: used for seeding and for hashing seeds together.

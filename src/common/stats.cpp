@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/analysis.hpp"
+
+// Monitor sampling calls add() on every tick of the event loop.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 void RunningStats::add(double x) {

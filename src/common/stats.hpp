@@ -6,6 +6,11 @@
 #include <span>
 #include <vector>
 
+#include "common/analysis.hpp"
+
+// RunningStats::add feeds every monitor sample on the event loop.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 /// Single-pass running statistics (Welford's algorithm): mean, variance,

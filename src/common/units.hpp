@@ -10,6 +10,11 @@
 #include <compare>
 #include <limits>
 
+#include "common/analysis.hpp"
+
+// SimTime/Bytes arithmetic runs on every event; keep it allocation-free.
+AH_HOT_PATH_FILE;
+
 namespace ah::common {
 
 /// A point (or span) in simulated time, in integer microseconds.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/analysis.hpp"
 #include "common/log.hpp"
 #include "core/model_immutable.hpp"
 
@@ -157,8 +158,13 @@ webstack::ProxyServer& SystemModel::ensure_proxy(NodeState& state) {
     webstack::AppTierRouter* app_router = lines_[state.line].app_router.get();
     state.proxy = std::make_unique<webstack::ProxyServer>(
         *shard.sim, node,
+        // Mixed hot/cold TU: this builder is construction-time code, but
+        // the wiring closure it creates carries every proxy->app hop, so it
+        // is seeded instead of whole-file-marking the model builder.
+        // AH_LINT_ALLOW(hot_path_reach, "mixed TU: only the closures are hot")
         [app_router](const webstack::Request& request, cluster::Node& from,
                      webstack::ResponseFn done) {
+          AH_HOT_ENTRY;  // proxy->app hop: runs once per dynamic request
           app_router->route(request, from, std::move(done));
         },
         webstack::ProxyParams{});
@@ -178,6 +184,7 @@ webstack::AppServer& SystemModel::ensure_app(NodeState& state) {
         *shard.sim, node,
         [db_router](const webstack::DbQuery& query, cluster::Node& from,
                     webstack::DbResultFn done) {
+          AH_HOT_ENTRY;  // app->db hop: runs once per backend query
           db_router->route(query, from, std::move(done));
         },
         webstack::AppParams{});

@@ -28,7 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "common/analysis.hpp"
 #include "common/units.hpp"
+
+// sampled()/record_span() run behind AH_OBS_TRACE_SPAN on every traced hop.
+AH_HOT_PATH_FILE;
 
 namespace ah::obs {
 
@@ -119,6 +123,7 @@ class TraceRecorder {
   do {                                                                    \
     ::ah::obs::TraceRecorder* ah_obs_t_ = (rec);                          \
     if (ah_obs_t_ != nullptr && ah_obs_t_->sampled(id)) {                 \
+      AH_LINT_ALLOW(obs_hot_path, "the approved macro's own body");       \
       ah_obs_t_->record_span((id), (hop), (node), (enq), (start),         \
                              (complete));                                 \
     }                                                                     \

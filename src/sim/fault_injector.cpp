@@ -203,6 +203,7 @@ void FaultInjector::disarm() {
 }
 
 void FaultInjector::fire(std::size_t index) {
+  AH_HOT_ENTRY;  // scheduled fault delivery runs on the event loop
   ++fired_;
   if (remaining_ > 0) --remaining_;
   if (handler_) handler_(plan_.events[index]);

@@ -58,6 +58,7 @@ double UtilizationMonitor::last_raw(std::size_t i) const {
 
 void UtilizationMonitor::schedule_next() {
   pending_ = sim_.schedule(period_, [this] {
+    AH_HOT_ENTRY;  // periodic sampling tick driven by the event loop
     pending_ = 0;
     if (!running_) return;
     sample_now();

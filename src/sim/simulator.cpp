@@ -39,6 +39,7 @@ std::uint64_t Simulator::run() {
 }
 
 bool Simulator::step() {
+  AH_HOT_ENTRY;  // the event-dispatch loop: every simulated action runs here
   if (queue_.empty()) return false;
   auto entry = queue_.pop();
   now_ = entry.time;

@@ -1,6 +1,10 @@
 #include "tpcw/constraints.hpp"
 
+#include "common/analysis.hpp"
 #include "common/stats.hpp"
+
+// WirtTracker::record runs once per successful interaction.
+AH_HOT_PATH_FILE;
 
 namespace ah::tpcw {
 

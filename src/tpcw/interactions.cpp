@@ -6,6 +6,8 @@
 #include "common/analysis.hpp"
 
 AH_IMMUTABLE_STATE_FILE;
+// The profile table is read per request (profile_for in make_request).
+AH_HOT_PATH_FILE;
 
 namespace ah::tpcw {
 

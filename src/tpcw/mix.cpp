@@ -5,6 +5,8 @@
 #include "common/analysis.hpp"
 
 AH_IMMUTABLE_STATE_FILE;
+// Mix::sample draws the interaction for every request.
+AH_HOT_PATH_FILE;
 
 namespace ah::tpcw {
 

@@ -16,6 +16,8 @@
 #include "common/rng.hpp"
 
 AH_IMMUTABLE_STATE_FILE;
+// sample()/rank() run once per cacheable request.
+AH_HOT_PATH_FILE;
 
 namespace ah::tpcw {
 

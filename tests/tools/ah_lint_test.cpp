@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -32,6 +35,10 @@ std::string fixture(const std::string& name) {
   return std::string(AH_LINT_FIXTURES) + "/" + name;
 }
 
+std::string xfile(const std::string& name) {
+  return std::string(AH_LINT_FIXTURES_XFILE) + "/" + name;
+}
+
 std::size_t count(const std::string& haystack, const std::string& needle) {
   std::size_t n = 0;
   for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
@@ -41,10 +48,14 @@ std::size_t count(const std::string& haystack, const std::string& needle) {
   return n;
 }
 
-TEST(AhLintTest, HotPathAllocFiresExactlyOnce) {
+TEST(AhLintTest, HotPathAllocFiresOnFunctionAndNothrowNew) {
+  // std::function fires, and so does `new(std::nothrow)` with no space
+  // before the paren (the regex accepts `new(` as well as `new `).
   const RunResult result = run_lint(fixture("hot_path_alloc.cpp"));
   EXPECT_EQ(result.exit_code, 1);
-  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 2u) << result.output;
+  EXPECT_NE(result.output.find("hot_path_alloc.cpp:9:"), std::string::npos)
+      << result.output;
 }
 
 TEST(AhLintTest, DeterminismFiresExactlyOnce) {
@@ -101,23 +112,123 @@ TEST(AhLintTest, SuppressedFixtureIsClean) {
   EXPECT_TRUE(result.output.empty()) << result.output;
 }
 
+TEST(AhLintTest, CommentContinuationHidesTokens) {
+  // A backslash-continued `//` comment extends onto the next physical line;
+  // the std::function hidden there must not fire.
+  const RunResult result = run_lint(fixture("comment_continuation.cpp"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(AhLintTest, PtrOrderFiresOncePerDetector) {
+  // Pointer hash, pointer-keyed ordered container, pointer comparator,
+  // pointer-to-integer cast, and %p formatting — one finding each.
+  const RunResult result = run_lint(fixture("sim/ptr_order.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[ptr_order]"), 5u) << result.output;
+}
+
 TEST(AhLintTest, DirectoryScanAggregatesFindings) {
   const RunResult result = run_lint(std::string(AH_LINT_FIXTURES));
   EXPECT_EQ(result.exit_code, 1);
-  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 1u) << result.output;
+  EXPECT_EQ(count(result.output, "[hot_path_alloc]"), 2u) << result.output;
   EXPECT_EQ(count(result.output, "[determinism]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[pooling]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[include_hygiene]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[obs_hot_path]"), 1u) << result.output;
   EXPECT_EQ(count(result.output, "[shared_state]"), 2u) << result.output;
+  EXPECT_EQ(count(result.output, "[ptr_order]"), 5u) << result.output;
+}
+
+TEST(AhLintTest, CrossFileTaintFlagsReachedAndStaleFiles) {
+  // entry.cpp seeds issue(); taint crosses the include graph into util.hpp
+  // (missing marker + reachable allocation, each carrying the call chain)
+  // while stale.cpp's marker is unreached.
+  const RunResult result = run_lint(xfile("reach"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[hot_path_reach]"), 3u) << result.output;
+  EXPECT_NE(result.output.find("stale.cpp:2:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("stale marker"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("missing marker"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("issue -> helper"), std::string::npos)
+      << result.output;
+}
+
+TEST(AhLintTest, LayeringFlagsUpwardIncludeAndCycle) {
+  // sim -> core inverts the DAG; obs/a.hpp <-> obs/b.hpp is a cycle; the
+  // AH_LAYERING_ALLOW'd upward include in webstack/justified.hpp is clean.
+  const RunResult result = run_lint(xfile("layering"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(count(result.output, "[layering]"), 2u) << result.output;
+  EXPECT_NE(result.output.find("include cycle"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("bad_include.hpp:3:"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("justified.hpp"), std::string::npos)
+      << result.output;
+}
+
+TEST(AhLintTest, JsonFormatCarriesRulesAndFindings) {
+  const RunResult result =
+      run_lint("--format=json " + fixture("hot_path_alloc.cpp"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("\"version\": 1"), std::string::npos)
+      << result.output;
+  // The rule list is emitted in registration order — stable for diffing.
+  EXPECT_NE(result.output.find(
+                "\"rules\": [\"hot_path_alloc\", \"determinism\", "
+                "\"pooling\", \"include_hygiene\", \"obs_hot_path\", "
+                "\"shared_state\", \"hot_path_reach\", \"layering\", "
+                "\"ptr_order\"]"),
+            std::string::npos)
+      << result.output;
+  EXPECT_EQ(count(result.output, "\"rule\": \"hot_path_alloc\""), 2u)
+      << result.output;
+}
+
+TEST(AhLintTest, BaselineRoundTripToleratesExistingFindings) {
+  // --write-baseline captures current counts; rescanning with that baseline
+  // exits clean, and the baseline file only tolerates counts, not lines.
+  const std::string baseline_path =
+      ::testing::TempDir() + "ah_lint_baseline_roundtrip.txt";
+  const RunResult write = run_lint("--write-baseline " + baseline_path + " " +
+                                   std::string(AH_LINT_FIXTURES));
+  EXPECT_EQ(write.exit_code, 0) << write.output;
+  const RunResult rescan = run_lint("--baseline " + baseline_path + " " +
+                                    std::string(AH_LINT_FIXTURES));
+  EXPECT_EQ(rescan.exit_code, 0) << rescan.output;
+  std::remove(baseline_path.c_str());
+}
+
+TEST(AhLintTest, DumpTaintShowsSeedsAndChains) {
+  const RunResult result = run_lint("--dump-taint " + xfile("reach"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("issue  [seed]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("helper  [issue -> helper]"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(AhLintTest, ExplainPrintsRuleDoc) {
+  const RunResult result = run_lint("--explain hot_path_reach");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("AH_HOT_ENTRY"), std::string::npos)
+      << result.output;
+  const RunResult unknown = run_lint("--explain no_such_rule");
+  EXPECT_EQ(unknown.exit_code, 2);
 }
 
 TEST(AhLintTest, ListRulesNamesEveryRule) {
   const RunResult result = run_lint("--list-rules");
   EXPECT_EQ(result.exit_code, 0);
-  for (const char* rule : {"hot_path_alloc", "determinism", "pooling",
-                           "include_hygiene", "obs_hot_path",
-                           "shared_state"}) {
+  for (const char* rule :
+       {"hot_path_alloc", "determinism", "pooling", "include_hygiene",
+        "obs_hot_path", "shared_state", "hot_path_reach", "layering",
+        "ptr_order"}) {
     EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -132,6 +243,42 @@ TEST(AhLintTest, SourceTreeIsClean) {
   // the `ah_lint_src` build target runs.
   const RunResult result = run_lint(std::string(AH_SRC_DIR));
   EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(AhLintTest, TaintReachesEveryMarkedSourceFile) {
+  // The manual AH_HOT_PATH_FILE markers must be a subset of what the taint
+  // analysis reaches: enumerate every marked file under src/ and assert its
+  // stem appears in --dump-taint output.  (Stem, not path: a marked header
+  // whose same-stem .cpp carries the reached definitions counts as covered —
+  // the same pairing the stale-marker check uses.)
+  const RunResult taint = run_lint("--dump-taint " + std::string(AH_SRC_DIR));
+  EXPECT_EQ(taint.exit_code, 0) << taint.output;
+  const std::filesystem::path src(AH_SRC_DIR);
+  std::vector<std::string> marked;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          line.compare(first, 17, "AH_HOT_PATH_FILE;") == 0) {
+        marked.push_back(entry.path().lexically_relative(src).generic_string());
+        break;
+      }
+    }
+  }
+  ASSERT_GT(marked.size(), 10u) << "marker enumeration went wrong";
+  for (const std::string& rel : marked) {
+    std::filesystem::path stem(rel);
+    stem.replace_extension();
+    // Taint lines are `src/<rel>: <function>  [chain]`.
+    const std::string want = "src/" + stem.generic_string() + ".";
+    EXPECT_NE(taint.output.find(want), std::string::npos)
+        << "marked file not reached by any AH_HOT_ENTRY seed: " << rel;
+  }
 }
 
 }  // namespace

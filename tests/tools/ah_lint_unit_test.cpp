@@ -1,0 +1,84 @@
+// Unit tests for ah_lint's lexical layer (tools/ah_lint/index.*): strip()
+// edge cases that the end-to-end fixture scans cannot pin precisely.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "index.hpp"
+
+namespace {
+
+using ah_lint::split_lines;
+using ah_lint::strip;
+
+TEST(AhLintStripTest, PreservesLengthAndNewlines) {
+  // strip() blanks comment/literal characters in place so line and column
+  // numbers survive; it never inserts or deletes.
+  const std::string text =
+      "int a; // trailing\n/* block\nspans lines */ int b = \"s\\ntr\";\n";
+  const std::string out = strip(text);
+  EXPECT_EQ(out.size(), text.size());
+  EXPECT_EQ(static_cast<long>(split_lines(out).size()),
+            static_cast<long>(split_lines(text).size()));
+}
+
+TEST(AhLintStripTest, RemovesLineAndBlockComments) {
+  const std::string out =
+      strip("keep1; // std::function gone\nkeep2; /* new X */ keep3;\n");
+  EXPECT_NE(out.find("keep1;"), std::string::npos);
+  EXPECT_NE(out.find("keep2;"), std::string::npos);
+  EXPECT_NE(out.find("keep3;"), std::string::npos);
+  EXPECT_EQ(out.find("std::function"), std::string::npos);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+}
+
+TEST(AhLintStripTest, BackslashContinuedLineCommentEatsNextLine) {
+  // Translation phase 2 splices a trailing backslash before comments are
+  // recognized, so the second physical line is still comment text.
+  const std::string out =
+      strip("// hidden \\\nstd::function<void()> f;\nint real;\n");
+  EXPECT_EQ(out.find("std::function"), std::string::npos) << out;
+  EXPECT_NE(out.find("int real;"), std::string::npos) << out;
+}
+
+TEST(AhLintStripTest, RawStringWithCustomDelimiter) {
+  // The )xy" closer — not the first )" — ends the literal; an embedded
+  // quote or )" must not terminate it early.
+  const std::string out =
+      strip("auto s = R\"xy(has \" quote and )\" closer)xy\"; tail();\n");
+  EXPECT_EQ(out.find("quote"), std::string::npos) << out;
+  EXPECT_EQ(out.find("closer"), std::string::npos) << out;
+  EXPECT_NE(out.find("tail();"), std::string::npos) << out;
+}
+
+TEST(AhLintStripTest, DigitSeparatorIsNotACharLiteral) {
+  // 1'000'000: the quotes follow alphanumerics, so they are separators, not
+  // char-literal openers — the code after must survive.
+  const std::string out = strip("int n = 1'000'000; after(n);\n");
+  EXPECT_NE(out.find("after(n);"), std::string::npos) << out;
+}
+
+TEST(AhLintStripTest, EscapedQuoteDoesNotEndString) {
+  const std::string out =
+      strip("const char* s = \"a\\\"new X\\\"b\"; after();\n");
+  EXPECT_EQ(out.find("new"), std::string::npos) << out;
+  EXPECT_NE(out.find("after();"), std::string::npos) << out;
+}
+
+TEST(AhLintStripTest, QuoteCharLiteralDoesNotOpenString) {
+  const std::string out = strip("char q = '\"'; after();\n");
+  EXPECT_NE(out.find("after();"), std::string::npos) << out;
+}
+
+TEST(AhLintStripTest, KeepLiteralsRetainsStringsButNotComments) {
+  // keep_literals feeds the %p detector: format strings stay visible while
+  // comments are still blanked.
+  const std::string text = "printf(\"%p\\n\", p); // %p in comment\n";
+  const std::string out = strip(text, /*keep_literals=*/true);
+  EXPECT_NE(out.find("\"%p"), std::string::npos) << out;
+  EXPECT_EQ(out.find("comment"), std::string::npos) << out;
+  // Default mode blanks the format string, so no %p survives anywhere.
+  EXPECT_EQ(strip(text).find("%p"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,9 @@
+// ah_lint fixture: expects ZERO findings.  The backslash-continued line \
+comment below hides a banned token on its continuation line; a scanner that \
+ends // comments at the first newline would report it.  Never compiled.
+AH_HOT_PATH_FILE;
+
+// the next physical line is still part of this comment \
+   std::function<void()> hidden_in_comment;
+
+int real_code() { return 1; }

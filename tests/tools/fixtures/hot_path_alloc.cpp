@@ -1,7 +1,9 @@
-// ah_lint fixture: exactly one hot_path_alloc finding (std::function).
-// Never compiled — scanned by ah_lint_test only.
+// ah_lint fixture: two hot_path_alloc findings (std::function; nothrow new
+// with no space before the paren).  Never compiled — scanned by ah_lint_test.
 AH_HOT_PATH_FILE;
 
 struct Handler {
-  std::function<void()> callback;  // the one finding
+  std::function<void()> callback;  // finding one
 };
+
+void* grow() { return new(std::nothrow) Handler; }  // finding two

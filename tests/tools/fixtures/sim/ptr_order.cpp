@@ -1,0 +1,25 @@
+// ah_lint fixture: exactly five ptr_order findings, one per detector
+// (pointer hash, pointer-keyed ordered container, pointer comparator,
+// pointer-to-integer cast, "%p" in a format string).  Lives under a sim/
+// path component so the determinism-scoped rule applies; deliberately free
+// of determinism-rule tokens.  Never compiled — scanned by ah_lint_test only.
+
+struct Node {};
+
+std::size_t hash_by_identity(Node* n) {
+  return std::hash<Node*>{}(n);  // finding: pointer hash
+}
+
+std::set<Node*> live_nodes;  // finding: iteration order is address order
+
+bool before(Node* a, Node* b) {
+  return std::less<Node*>{}(a, b);  // finding: pointer comparator
+}
+
+std::uintptr_t key_of(Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // finding: address as value
+}
+
+void dump(Node* n) {
+  std::printf("node %p\n", static_cast<void*>(n));  // finding: %p output
+}

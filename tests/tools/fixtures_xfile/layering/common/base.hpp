@@ -1,0 +1,2 @@
+// Layering fixture: bottom layer; anything may include common.
+#pragma once

@@ -1,0 +1,3 @@
+// Layering fixture: core may include anything (no finding for this edge).
+#pragma once
+#include "common/base.hpp"

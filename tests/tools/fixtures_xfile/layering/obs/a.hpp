@@ -1,0 +1,4 @@
+// Layering fixture: include cycle a <-> b -> one cycle finding, reported
+// at this file's include of b.hpp.
+#pragma once
+#include "b.hpp"

@@ -1,0 +1,3 @@
+// Layering fixture: second half of the a <-> b cycle.
+#pragma once
+#include "a.hpp"

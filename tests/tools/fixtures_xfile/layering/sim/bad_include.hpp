@@ -1,0 +1,3 @@
+// Layering fixture: sim reaching up into core -> one layering finding.
+#pragma once
+#include "core/top.hpp"

@@ -1,0 +1,2 @@
+// Layering fixture: target of the justified upward include below.
+#pragma once

@@ -1,0 +1,5 @@
+// Layering fixture: upward include with a recorded justification — the
+// AH_LAYERING_ALLOW on the line above the include suppresses the finding.
+#pragma once
+// AH_LAYERING_ALLOW("fixture: justified upward dependency")
+#include "tpcw/pages.hpp"

@@ -1,0 +1,12 @@
+// ah_lint cross-file fixture: seeded entry point.  Taint flows from the
+// AH_HOT_ENTRY seed in issue() through the include graph into util.hpp
+// (unmarked -> missing-marker + allocation findings) and never reaches
+// stale.cpp (marked -> stale-marker finding).  Never compiled.
+#include "util.hpp"
+
+AH_HOT_PATH_FILE;
+
+void issue() {
+  AH_HOT_ENTRY;
+  helper();
+}

@@ -1,0 +1,4 @@
+// Marked file that no seed reaches: expects one stale-marker finding.
+AH_HOT_PATH_FILE;
+
+void unreferenced_helper() {}

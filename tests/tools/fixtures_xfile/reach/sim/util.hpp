@@ -1,0 +1,9 @@
+// Unmarked header reached by taint from entry.cpp: expects one
+// missing-marker finding (at helper) and one allocation finding.
+#pragma once
+
+struct Widget {};
+
+inline Widget* helper() {
+  return new Widget;  // reachable allocation in unannotated code
+}

@@ -1,429 +1,175 @@
 // ah_lint — repo-specific static analysis for the Harmony codebase.
 //
-// A deliberately small token/regex scanner (no libclang): it strips comments
-// and literals, then applies four rules that encode the invariants the
-// simulator's correctness and benchmark stability depend on.  The rules are
-// documented in EXPERIMENTS.md and in `--list-rules`; suppressions use
-// AH_LINT_ALLOW(rule, "reason") from src/common/analysis.hpp, placed on the
-// offending line or the line immediately above it.
+// A deliberately small multi-pass analyzer (no libclang): the index pass
+// strips comments/literals and brace-matches a lightweight symbol table
+// (functions, function-like macros, lambdas) over every scanned file, the
+// graph pass builds the repo-wide `#include` graph and propagates hot-path
+// taint from AH_HOT_ENTRY seeds through the call graph, and the rule pass
+// turns both into findings:
 //
-//   R1 hot_path_alloc   — no std::function / shared_ptr / make_unique /
-//                         new-expressions in AH_HOT_PATH_FILE-annotated files.
-//   R2 determinism      — no wall clocks, rand(), random_device, or
-//                         unordered containers under sim/ harmony/ webstack/
-//                         cluster/ (path-component match, so fixture trees
-//                         mirror the layout).
-//   R3 pooling          — no std::deque / std::list in hot-path files.
-//   R4 include_hygiene  — no <iostream> in headers.
-//   R5 obs_hot_path     — telemetry record calls in hot-path files must go
-//                         through the AH_OBS_* macros (null-checked,
-//                         sampling-gated), never direct method calls.
-//   R6 shared_state     — AH_IMMUTABLE_STATE_FILE-annotated files (the
-//                         model layer shared read-only across replica and
-//                         work-line threads) must not define non-const
-//                         statics or `mutable` members.
+//   hot_path_alloc   — no std::function / shared_ptr / make_unique /
+//                      new-expressions in AH_HOT_PATH_FILE-annotated files.
+//   determinism      — no wall clocks, rand(), random_device, or unordered
+//                      containers under sim/ harmony/ webstack/ cluster/.
+//   pooling          — no std::deque / std::list in hot-path files.
+//   include_hygiene  — no <iostream> in headers.
+//   obs_hot_path     — telemetry record calls in hot-path files must go
+//                      through the AH_OBS_* macros.
+//   shared_state     — AH_IMMUTABLE_STATE_FILE files: no non-const statics,
+//                      no `mutable` members.
+//   hot_path_reach   — functions transitively reachable from AH_HOT_ENTRY
+//                      seeds obey the allocation rules even in unannotated
+//                      files; missing/stale AH_HOT_PATH_FILE markers are
+//                      findings (the marker set is checked, not trusted).
+//   layering         — project includes follow the layer DAG; no upward or
+//                      cyclic includes.
+//   ptr_order        — pointer identity must not leak into observable order
+//                      in determinism-scoped files.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
-#include <algorithm>
-#include <cstddef>
+// Suppressions: AH_LINT_ALLOW(rule, "reason") on the offending line or the
+// line above; AH_LAYERING_ALLOW("reason") for layering.  Rules are
+// documented in EXPERIMENTS.md, `--list-rules`, and `--explain <rule>`.
+//
+// Exit codes: 0 clean, 1 findings (above --baseline, if given), 2 usage or
+// I/O error.
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
+
+#include "graph.hpp"
+#include "index.hpp"
+#include "report.hpp"
+#include "rules.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct RuleDoc {
-  const char* name;
-  const char* summary;
-};
-
-constexpr RuleDoc kRules[] = {
-    {"hot_path_alloc",
-     "AH_HOT_PATH_FILE files must not use std::function, std::shared_ptr, "
-     "std::make_shared, std::make_unique, or new-expressions (::new placement "
-     "form is exempt). Use common::InlineFunction, common::FunctionRef, or a "
-     "common::ObjectPool call struct."},
-    {"determinism",
-     "Files under sim/, harmony/, webstack/, or cluster/ must not use "
-     "rand()/srand(), std::random_device, system_clock/steady_clock/"
-     "high_resolution_clock, or unordered containers (iteration order is "
-     "nondeterministic). Randomness comes from common::Rng, time from "
-     "sim::Simulator::now()."},
-    {"pooling",
-     "AH_HOT_PATH_FILE files must not use std::deque or std::list: per-node "
-     "and per-chunk allocation on the request path. Use common::ObjectPool, "
-     "common::RingBuffer, or std::vector."},
-    {"include_hygiene",
-     "Headers must not include <iostream>: it drags in the static "
-     "initialization of the standard streams into every TU. Use <ostream> or "
-     "<iosfwd> in headers and keep <iostream> in .cpp files."},
-    {"obs_hot_path",
-     "AH_HOT_PATH_FILE files must not call telemetry record methods "
-     "(record_us/record_span/record) directly: use AH_OBS_RECORD_US, "
-     "AH_OBS_RECORD_SPAN, or AH_OBS_TRACE_SPAN, which null-check the sink "
-     "(and gate tracing on the sampling predicate) before touching it."},
-    {"shared_state",
-     "AH_IMMUTABLE_STATE_FILE files hold model state shared read-only across "
-     "replica and work-line threads: no non-const statics (hidden writable "
-     "globals race across threads) and no `mutable` members (writes through "
-     "const references defeat the shared-const safety argument). Use static "
-     "const/constexpr tables, or move the state to the mutable layer."},
-};
-
-void list_rules() {
-  for (const RuleDoc& rule : kRules) {
-    std::cout << rule.name << "\n    " << rule.summary << "\n";
-  }
-}
-
-/// Replaces comments and string/char literal contents with spaces, preserving
-/// newlines (and therefore line numbers).  Handles //, /* */, "...", '...',
-/// and R"delim(...)delim".  Digit separators (1'000) do not open a char
-/// literal because the preceding character is alphanumeric.
-std::string strip(const std::string& text) {
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string out;
-  out.reserve(text.size());
-  std::string raw_delim;  // the ")delim" closer for the active raw string
-  char prev_code = '\0';  // last significant character emitted in kCode
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          // R"delim( opens a raw string when the R abuts the quote.
-          if (prev_code == 'R') {
-            std::size_t close = text.find('(', i + 1);
-            if (close != std::string::npos && close - i <= 17) {
-              raw_delim = ")" + text.substr(i + 1, close - i - 1) + "\"";
-              state = State::kRaw;
-              for (std::size_t j = i; j <= close; ++j) {
-                out += text[j] == '\n' ? '\n' : ' ';
-              }
-              i = close;
-              break;
-            }
-          }
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'' && !std::isalnum(static_cast<unsigned char>(
-                                    prev_code)) && prev_code != '_') {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-          if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out += ' ';
-          if (next != '\0') {
-            out += next == '\n' ? '\n' : ' ';
-            ++i;
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-          out += ' ';
-          prev_code = '\0';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kRaw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-          prev_code = '\0';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream stream(text);
-  while (std::getline(stream, line)) lines.push_back(line);
-  return lines;
-}
-
-/// True when any path component is one of the determinism-scoped directories.
-bool in_determinism_scope(const fs::path& path) {
-  static const std::set<std::string> kDirs = {"sim", "harmony", "webstack",
-                                              "cluster"};
-  for (const auto& part : path) {
-    if (kDirs.count(part.string()) != 0) return true;
-  }
-  return false;
-}
-
-bool is_header(const fs::path& path) { return path.extension() == ".hpp"; }
-
-struct Check {
-  const char* rule;
-  std::regex pattern;
-  const char* message;
-};
-
-const std::vector<Check>& hot_path_checks() {
-  static const std::vector<Check> checks = [] {
-    std::vector<Check> c;
-    c.push_back({"hot_path_alloc", std::regex(R"(std\s*::\s*function\b)"),
-                 "std::function type-erases through a heap allocation; use "
-                 "common::InlineFunction (owning) or common::FunctionRef "
-                 "(non-owning)"});
-    c.push_back({"hot_path_alloc",
-                 std::regex(R"(std\s*::\s*(shared_ptr\b|make_shared\b))"),
-                 "shared ownership on the hot path: control-block allocation "
-                 "plus atomic refcounts; park state in a pooled call struct"});
-    c.push_back({"hot_path_alloc", std::regex(R"(std\s*::\s*make_unique\b)"),
-                 "heap allocation in a hot-path file; acquire from a "
-                 "common::ObjectPool (or AH_LINT_ALLOW a start-up-only site)"});
-    c.push_back({"hot_path_alloc", std::regex(R"((^|[^:_A-Za-z0-9>])new\s)"),
-                 "new-expression in a hot-path file; acquire from a "
-                 "common::ObjectPool (placement ::new is exempt)"});
-    c.push_back({"pooling", std::regex(R"(std\s*::\s*(deque|list)\b)"),
-                 "chunk/node-allocating container in a hot-path file; use "
-                 "common::ObjectPool, common::RingBuffer, or std::vector"});
-    c.push_back({"obs_hot_path",
-                 std::regex(R"((\.|->)\s*(record_us|record_span|record)\s*\()"),
-                 "direct telemetry record call in a hot-path file; use "
-                 "AH_OBS_RECORD_US / AH_OBS_RECORD_SPAN / AH_OBS_TRACE_SPAN "
-                 "(null-checked and sampling-gated)"});
-    return c;
-  }();
-  return checks;
-}
-
-const std::vector<Check>& determinism_checks() {
-  static const std::vector<Check> checks = [] {
-    std::vector<Check> c;
-    c.push_back({"determinism", std::regex(R"((^|[^_A-Za-z0-9])s?rand\s*\()"),
-                 "libc rand()/srand() is hidden global state; draw from the "
-                 "owning component's common::Rng"});
-    c.push_back({"determinism", std::regex(R"(std\s*::\s*random_device\b)"),
-                 "std::random_device is nondeterministic; seeds flow from the "
-                 "experiment config through common::Rng::split"});
-    c.push_back(
-        {"determinism",
-         std::regex(R"((system_clock|steady_clock|high_resolution_clock)\b)"),
-         "wall-clock time in simulated code; use sim::Simulator::now()"});
-    c.push_back({"determinism",
-                 std::regex(
-                     R"(std\s*::\s*unordered_(map|set|multimap|multiset)\b)"),
-                 "unordered container: iteration order varies across standard "
-                 "libraries and hash seeds; use a sorted container, or "
-                 "AH_LINT_ALLOW with a note that iteration order is never "
-                 "observed"});
-    return c;
-  }();
-  return checks;
-}
-
-const std::vector<Check>& shared_state_checks() {
-  static const std::vector<Check> checks = [] {
-    std::vector<Check> c;
-    // `static` not followed by const/constexpr.  static_assert/static_cast
-    // never match: no whitespace follows the keyword there.
-    c.push_back({"shared_state",
-                 std::regex(R"((^|[^_A-Za-z0-9])static\s+(?!const\b|constexpr\b))"),
-                 "non-const static in an immutable-layer file: a hidden "
-                 "writable global shared by every replica and work-line "
-                 "thread; make it static const/constexpr or move it to the "
-                 "mutable layer"});
-    c.push_back({"shared_state",
-                 std::regex(R"((^|[^_A-Za-z0-9])mutable\b)"),
-                 "mutable member in an immutable-layer file: writes through "
-                 "const references defeat the shared-const thread-safety "
-                 "argument; move the state to the mutable layer"});
-    return c;
-  }();
-  return checks;
-}
-
-class Linter {
- public:
-  void scan_file(const fs::path& path) {
-    ++files_scanned_;
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      io_error_ = true;
-      std::cerr << "ah_lint: cannot read " << path.string() << "\n";
-      return;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string raw = buffer.str();
-    const std::vector<std::string> raw_lines = split_lines(raw);
-    const std::vector<std::string> lines = split_lines(strip(raw));
-
-    // Suppressions and the hot-path annotation are read from the raw text:
-    // both are macros whose tokens survive preprocessing, and scanning raw
-    // text keeps the linter independent of how they expand.
-    static const std::regex kAllow(R"(AH_LINT_ALLOW\s*\(\s*([A-Za-z_]+))");
-    static const std::regex kHotPath(R"(^\s*AH_HOT_PATH_FILE\s*;)");
-    static const std::regex kImmutable(R"(^\s*AH_IMMUTABLE_STATE_FILE\s*;)");
-    std::set<std::pair<std::size_t, std::string>> allows;  // (line, rule)
-    bool hot_path = false;
-    bool immutable = false;
-    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-      std::smatch match;
-      if (std::regex_search(raw_lines[i], match, kAllow)) {
-        allows.emplace(i + 1, match[1].str());
-      }
-      if (std::regex_search(raw_lines[i], kHotPath)) hot_path = true;
-      if (std::regex_search(raw_lines[i], kImmutable)) immutable = true;
-    }
-
-    std::vector<const std::vector<Check>*> active;
-    if (hot_path) active.push_back(&hot_path_checks());
-    if (in_determinism_scope(path)) active.push_back(&determinism_checks());
-    if (immutable) active.push_back(&shared_state_checks());
-
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      const std::size_t line_no = i + 1;
-      auto suppressed = [&](const std::string& rule) {
-        return allows.count({line_no, rule}) != 0 ||
-               (line_no > 1 && allows.count({line_no - 1, rule}) != 0);
-      };
-      for (const auto* checks : active) {
-        for (const Check& check : *checks) {
-          if (std::regex_search(line, check.pattern) &&
-              !suppressed(check.rule)) {
-            findings_.push_back(
-                {path.string(), line_no, check.rule, check.message});
-          }
-        }
-      }
-      if (is_header(path)) {
-        static const std::regex kIostream(R"(#\s*include\s*<iostream>)");
-        if (std::regex_search(line, kIostream) &&
-            !suppressed("include_hygiene")) {
-          findings_.push_back(
-              {path.string(), line_no, "include_hygiene",
-               "<iostream> in a header pulls stream static-init into every "
-               "TU; use <ostream>/<iosfwd> here, <iostream> in the .cpp"});
-        }
-      }
-    }
-  }
-
-  void scan(const fs::path& path) {
-    if (fs::is_directory(path)) {
-      std::vector<fs::path> files;
-      for (const auto& entry : fs::recursive_directory_iterator(path)) {
-        if (!entry.is_regular_file()) continue;
-        const auto ext = entry.path().extension();
-        if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
-      }
-      std::sort(files.begin(), files.end());
-      for (const auto& file : files) scan_file(file);
-    } else {
-      scan_file(path);
-    }
-  }
-
-  int report() const {
-    for (const Finding& finding : findings_) {
-      std::cout << finding.file << ":" << finding.line << ": [" << finding.rule
-                << "] " << finding.message << "\n";
-    }
-    std::cerr << "ah_lint: " << findings_.size() << " finding(s) in "
-              << files_scanned_ << " file(s)\n";
-    if (io_error_) return 2;
-    return findings_.empty() ? 0 : 1;
-  }
-
- private:
-  std::vector<Finding> findings_;
-  std::size_t files_scanned_ = 0;
-  bool io_error_ = false;
-};
+constexpr const char* kUsage =
+    "usage: ah_lint [options] <file-or-dir>...\n"
+    "  --list-rules            list every rule with a one-line summary\n"
+    "  --explain <rule>        print a rule's full rationale and examples\n"
+    "  --format=text|json      finding output format (default text)\n"
+    "  --baseline <file>       tolerate findings recorded in <file>; exit 1\n"
+    "                          only on findings above it\n"
+    "  --write-baseline <file> write current findings as a baseline, exit 0\n"
+    "  --dump-taint            print hot-path-reachable functions, exit 0\n"
+    "Scans .hpp/.cpp files; exits 1 on findings, 2 on usage/I/O errors.\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
+  std::vector<std::filesystem::path> paths;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string explain_rule;
+  bool dump_taint = false;
+  bool list_rules = false;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ah_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--list-rules") {
-      list_rules();
+      list_rules = true;
+    } else if (arg == "--explain") {
+      const char* value = next_value("--explain");
+      if (value == nullptr) return 2;
+      explain_rule = value;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "ah_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      const char* value = next_value("--baseline");
+      if (value == nullptr) return 2;
+      baseline_path = value;
+    } else if (arg == "--write-baseline") {
+      const char* value = next_value("--write-baseline");
+      if (value == nullptr) return 2;
+      write_baseline_path = value;
+    } else if (arg == "--dump-taint") {
+      dump_taint = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
       return 0;
-    }
-    if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: ah_lint [--list-rules] <file-or-dir>...\n"
-                   "Scans .hpp/.cpp files; exits 1 on findings.\n";
-      return 0;
-    }
-    if (!arg.empty() && arg[0] == '-') {
+    } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "ah_lint: unknown option " << arg << "\n";
       return 2;
+    } else {
+      paths.emplace_back(arg);
     }
-    paths.push_back(arg);
   }
-  if (paths.empty()) {
-    std::cerr << "usage: ah_lint [--list-rules] <file-or-dir>...\n";
-    return 2;
+
+  if (list_rules) {
+    ah_lint::print_rule_list(std::cout);
+    return 0;
   }
-  Linter linter;
-  for (const auto& path : paths) {
-    if (!fs::exists(path)) {
-      std::cerr << "ah_lint: no such path " << path << "\n";
+  if (!explain_rule.empty()) {
+    if (!ah_lint::print_explain(std::cout, explain_rule)) {
+      std::cerr << "ah_lint: unknown rule '" << explain_rule
+                << "' (see --list-rules)\n";
       return 2;
     }
-    linter.scan(path);
+    return 0;
   }
-  return linter.report();
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  for (const auto& path : paths) {
+    if (!std::filesystem::exists(path)) {
+      std::cerr << "ah_lint: no such path " << path.string() << "\n";
+      return 2;
+    }
+  }
+
+  const ah_lint::Index index = ah_lint::build_index(paths);
+  const ah_lint::IncludeGraph includes = ah_lint::build_include_graph(index);
+  const ah_lint::Taint taint = ah_lint::propagate_taint(index, includes);
+
+  if (dump_taint) {
+    ah_lint::print_taint(std::cout, index, taint);
+    return index.io_error ? 2 : 0;
+  }
+
+  std::vector<ah_lint::Finding> findings =
+      ah_lint::run_rules(index, includes, taint);
+
+  if (!write_baseline_path.empty()) {
+    if (!ah_lint::write_baseline(write_baseline_path, findings)) return 2;
+    std::cerr << "ah_lint: wrote baseline (" << findings.size()
+              << " finding(s)) to " << write_baseline_path << "\n";
+    return index.io_error ? 2 : 0;
+  }
+
+  std::size_t baseline_suppressed = 0;
+  if (!baseline_path.empty()) {
+    ah_lint::Baseline baseline;
+    if (!ah_lint::load_baseline(baseline_path, baseline)) return 2;
+    findings =
+        ah_lint::apply_baseline(findings, baseline, baseline_suppressed);
+  }
+
+  if (format == "json") {
+    ah_lint::print_json(std::cout, findings, index.files.size());
+    std::cerr << "ah_lint: " << findings.size() << " finding(s) in "
+              << index.files.size() << " file(s)";
+    if (baseline_suppressed != 0) {
+      std::cerr << " (" << baseline_suppressed << " within baseline)";
+    }
+    std::cerr << "\n";
+  } else {
+    ah_lint::print_text(std::cout, std::cerr, findings, index.files.size(),
+                        baseline_suppressed);
+  }
+  if (index.io_error) return 2;
+  return findings.empty() ? 0 : 1;
 }

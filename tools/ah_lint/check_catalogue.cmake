@@ -1,0 +1,45 @@
+# Fails when `ah_lint --list-rules` and the EXPERIMENTS.md rule catalogue
+# drift apart: every rule the binary knows must have a `rule` entry in the
+# doc table, and every table row must name a real rule.
+#
+# Usage: cmake -DLINT_BIN=<ah_lint> -DEXPERIMENTS=<EXPERIMENTS.md>
+#              -P check_catalogue.cmake
+execute_process(COMMAND ${LINT_BIN} --list-rules
+  OUTPUT_VARIABLE lint_out RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "ah_lint --list-rules exited ${lint_rc}")
+endif()
+file(READ ${EXPERIMENTS} experiments)
+
+# Rule-name lines in --list-rules output are unindented [a-z_]+ lines
+# (summaries are indented by four spaces).
+string(REGEX MATCHALL "(^|\n)[a-z_]+\n" name_lines "\n${lint_out}")
+set(lint_rules "")
+foreach(line IN LISTS name_lines)
+  string(REGEX REPLACE "[^a-z_]" "" rule "${line}")
+  list(APPEND lint_rules ${rule})
+endforeach()
+if(lint_rules STREQUAL "")
+  message(FATAL_ERROR "parsed no rule names from --list-rules output")
+endif()
+
+foreach(rule IN LISTS lint_rules)
+  if(NOT experiments MATCHES "`${rule}`")
+    message(FATAL_ERROR
+      "rule `${rule}` (from --list-rules) is missing from the EXPERIMENTS.md "
+      "rule catalogue — document it in the table under 'Static enforcement'")
+  endif()
+endforeach()
+
+# Reverse direction: table rows look like "| `rule` | scope | bans |".
+string(REGEX MATCHALL "\\| `[a-z_]+` \\|" doc_rows "${experiments}")
+foreach(row IN LISTS doc_rows)
+  string(REGEX REPLACE "[^a-z_]" "" rule "${row}")
+  list(FIND lint_rules ${rule} found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "EXPERIMENTS.md documents rule `${rule}` which ah_lint --list-rules "
+      "does not report — remove the row or register the rule")
+  endif()
+endforeach()
+message(STATUS "catalogue in sync: ${lint_rules}")

@@ -1,0 +1,195 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace ah_lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Resolves one include spelling against the include bases: the including
+/// file's directory, then every scan root.  Returns npos when the target
+/// is not part of the scanned set (system or external headers).
+std::size_t resolve_include(
+    const Index& index, std::size_t from,
+    const std::string& spelling,
+    const std::map<std::string, std::size_t>& by_canonical) {
+  std::vector<fs::path> bases;
+  bases.push_back(index.files[from].path.parent_path());
+  bases.push_back(index.roots[index.root_of[from]]);
+  for (const fs::path& root : index.roots) bases.push_back(root);
+  for (const fs::path& base : bases) {
+    std::error_code ec;
+    const fs::path candidate = fs::weakly_canonical(base / spelling, ec);
+    if (ec) continue;
+    const auto it = by_canonical.find(candidate.generic_string());
+    if (it != by_canonical.end()) return it->second;
+  }
+  return IncludeGraph::npos;
+}
+
+}  // namespace
+
+IncludeGraph build_include_graph(const Index& index) {
+  IncludeGraph graph;
+  const std::size_t n = index.files.size();
+  graph.edges.resize(n);
+  graph.closure.resize(n);
+  graph.paired_header.assign(n, IncludeGraph::npos);
+
+  std::map<std::string, std::size_t> by_canonical;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::error_code ec;
+    const fs::path canonical = fs::weakly_canonical(index.files[i].path, ec);
+    if (!ec) by_canonical.emplace(canonical.generic_string(), i);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [line, spelling] : index.files[i].includes) {
+      const std::size_t target =
+          resolve_include(index, i, spelling, by_canonical);
+      if (target != IncludeGraph::npos) {
+        graph.edges[i].emplace_back(target, line);
+      }
+    }
+    if (index.files[i].path.extension() == ".cpp") {
+      std::error_code ec;
+      fs::path header = index.files[i].path;
+      header.replace_extension(".hpp");
+      const fs::path canonical = fs::weakly_canonical(header, ec);
+      if (!ec) {
+        const auto it = by_canonical.find(canonical.generic_string());
+        if (it != by_canonical.end()) graph.paired_header[i] = it->second;
+      }
+    }
+  }
+
+  // Transitive closure, cycle-tolerant: iterative worklist per file.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t>& closed = graph.closure[i];
+    std::deque<std::size_t> work{i};
+    closed.insert(i);
+    while (!work.empty()) {
+      const std::size_t cur = work.front();
+      work.pop_front();
+      for (const auto& [target, line] : graph.edges[cur]) {
+        if (closed.insert(target).second) work.push_back(target);
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS with colors; each cycle reported once,
+  // rotated to start at its smallest file index.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> stack;
+  std::set<std::vector<std::size_t>> seen_cycles;
+  std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const auto& [v, line] : graph.edges[u]) {
+      if (color[v] == 0) {
+        dfs(v);
+      } else if (color[v] == 1) {
+        const auto it = std::find(stack.begin(), stack.end(), v);
+        std::vector<std::size_t> cycle(it, stack.end());
+        const auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        if (seen_cycles.insert(cycle).second) {
+          graph.cycles.push_back(cycle);
+        }
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (color[i] == 0) dfs(i);
+  }
+  std::sort(graph.cycles.begin(), graph.cycles.end());
+  return graph;
+}
+
+namespace {
+
+/// A call in `from_file` may bind to a function defined in `def_file` only
+/// if the definition (or its declaring header) is in the caller's include
+/// closure.
+bool visible(const IncludeGraph& includes, std::size_t from_file,
+             std::size_t def_file) {
+  if (includes.closure[from_file].count(def_file) != 0) return true;
+  const std::size_t paired = includes.paired_header[def_file];
+  return paired != IncludeGraph::npos &&
+         includes.closure[from_file].count(paired) != 0;
+}
+
+}  // namespace
+
+Taint propagate_taint(const Index& index, const IncludeGraph& includes) {
+  Taint taint;
+  const std::size_t n = index.functions.size();
+  taint.tainted.assign(n, false);
+  taint.parent.assign(n, Taint::npos);
+
+  std::deque<std::size_t> work;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (index.functions[i].hot_entry) {
+      taint.tainted[i] = true;
+      work.push_back(i);
+      ++taint.seed_count;
+    }
+  }
+
+  while (!work.empty()) {
+    const std::size_t cur = work.front();
+    work.pop_front();
+    const FunctionDef& fn = index.functions[cur];
+    auto visit = [&](std::size_t callee) {
+      if (!taint.tainted[callee]) {
+        taint.tainted[callee] = true;
+        taint.parent[callee] = cur;
+        work.push_back(callee);
+      }
+    };
+    for (const std::size_t callee : fn.direct_callees) visit(callee);
+    for (const std::string& name : fn.calls) {
+      const auto it = index.by_name.find(name);
+      if (it == index.by_name.end()) continue;
+      for (const std::size_t callee : it->second) {
+        if (visible(includes, fn.file, index.functions[callee].file)) {
+          visit(callee);
+        }
+      }
+    }
+  }
+  return taint;
+}
+
+std::string taint_chain(const Index& index, const Taint& taint,
+                        std::size_t fn, std::size_t max_hops) {
+  std::vector<std::string> hops;
+  for (std::size_t cur = fn; cur != Taint::npos; cur = taint.parent[cur]) {
+    hops.push_back(index.functions[cur].display);
+  }
+  std::reverse(hops.begin(), hops.end());
+  std::string out;
+  if (hops.size() > max_hops) {
+    const std::size_t head = max_hops / 2;
+    const std::size_t tail = max_hops - head;
+    std::vector<std::string> elided(hops.begin(),
+                                    hops.begin() + static_cast<long>(head));
+    elided.push_back("...");
+    elided.insert(elided.end(), hops.end() - static_cast<long>(tail),
+                  hops.end());
+    hops = std::move(elided);
+  }
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += hops[i];
+  }
+  return out;
+}
+
+}  // namespace ah_lint

@@ -1,0 +1,59 @@
+// ah_lint graph pass: the repo-wide `#include` graph (resolution against
+// the scan roots, transitive closure, cycle detection) and the hot-path
+// taint computed over the call graph.
+//
+// Call edges are name-resolved (no types), then pruned by include
+// visibility: a call in file A can only bind to a function defined in a
+// file A transitively includes (for out-of-line definitions, whose paired
+// header A includes).  This keeps name collisions from leaking taint into
+// layers the caller cannot even see.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+
+namespace ah_lint {
+
+struct IncludeGraph {
+  /// Per file: resolved project includes as (target file, include line).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edges;
+  /// Per file: transitive include closure (includes the file itself).
+  std::vector<std::set<std::size_t>> closure;
+  /// Per (cpp) file: index of the same-stem .hpp, or npos.  Used to make
+  /// out-of-line definitions visible through their declaring header.
+  std::vector<std::size_t> paired_header;
+  /// Include cycles (each reported once): file indices in cycle order,
+  /// starting from the smallest index.
+  std::vector<std::vector<std::size_t>> cycles;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+IncludeGraph build_include_graph(const Index& index);
+
+struct Taint {
+  /// Per function: tainted (transitively reachable from an AH_HOT_ENTRY
+  /// seed, including the seeds themselves)?
+  std::vector<bool> tainted;
+  /// Per function: the function it was first reached from (npos for
+  /// seeds/untainted) — BFS tree, used to print taint chains.
+  std::vector<std::size_t> parent;
+  std::size_t seed_count = 0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+Taint propagate_taint(const Index& index, const IncludeGraph& includes);
+
+/// Formats the seed→function chain for a tainted function, e.g.
+/// "Workload::browser_issue -> FrontendRouter::route -> lambda@...".
+/// Chains longer than `max_hops` elide the middle.
+std::string taint_chain(const Index& index, const Taint& taint,
+                        std::size_t fn, std::size_t max_hops = 6);
+
+}  // namespace ah_lint

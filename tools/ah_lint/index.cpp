@@ -1,0 +1,811 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+
+namespace ah_lint {
+
+namespace fs = std::filesystem;
+
+std::string strip(const std::string& text, bool keep_literals) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string out;
+  out.reserve(text.size());
+  std::string raw_delim;  // the ")delim" closer for the active raw string
+  char prev_code = '\0';  // last significant character emitted in kCode
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string when the R abuts the quote.
+          if (prev_code == 'R') {
+            std::size_t close = text.find('(', i + 1);
+            if (close != std::string::npos && close - i <= 17) {
+              raw_delim = ")" + text.substr(i + 1, close - i - 1) + "\"";
+              state = State::kRaw;
+              for (std::size_t j = i; j <= close; ++j) {
+                out += keep_literals || text[j] == '\n' ? text[j] : ' ';
+              }
+              i = close;
+              break;
+            }
+          }
+          state = State::kString;
+          out += keep_literals ? c : ' ';
+        } else if (c == '\'' && !std::isalnum(static_cast<unsigned char>(
+                                    prev_code)) && prev_code != '_') {
+          state = State::kChar;
+          out += keep_literals ? c : ' ';
+        } else {
+          out += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else if (c == '\\' && next == '\n') {
+          // A line comment whose last character is a backslash continues
+          // onto the next physical line (translation phase 2 splices them
+          // before comments are recognized) — stay in comment state.
+          out += " \n";
+          ++i;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out += keep_literals ? c : ' ';
+          if (next != '\0') {
+            out += keep_literals || next == '\n' ? next : ' ';
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out += keep_literals ? c : ' ';
+          prev_code = '\0';
+        } else {
+          out += keep_literals || c == '\n' ? c : ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 0; j < raw_delim.size(); ++j) {
+            out += keep_literals ? text[i + j] : ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          prev_code = '\0';
+        } else {
+          out += keep_literals || c == '\n' ? c : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(text);
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Statement keywords that look like `name(...)` but never name a callable
+/// definition or a resolvable callee.
+const std::set<std::string>& keyword_set() {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "catch",
+      "return",   "sizeof",   "alignof",  "alignas",  "decltype",
+      "noexcept", "typeid",   "throw",    "new",      "delete",
+      "assert",   "static_assert", "defined", "co_await", "co_return",
+      "co_yield"};
+  return kKeywords;
+}
+
+/// Heuristic single-file parser over the stripped text.  Finds named
+/// function definitions at declaration scope (function bodies are skipped
+/// wholesale and mined separately for lambdas and call sites).
+class FunctionParser {
+ public:
+  struct Def {
+    std::string name;
+    std::string display;
+    std::size_t name_line = 1;
+    std::size_t span_begin = 0;  // char offset: open paren of params
+    std::size_t span_end = 0;    // char offset: closing brace of body
+    std::size_t begin_line = 1;
+    std::size_t end_line = 1;
+  };
+
+  explicit FunctionParser(const std::string& text) : text_(text) {}
+
+  std::vector<Def> parse() {
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+      } else if (c == '#') {
+        skip_preprocessor_line();
+      } else if (ident_start(c) || c == '~' ||
+                 (c == ':' && peek(1) == ':')) {
+        handle_identifier();
+      } else {
+        ++i_;
+      }
+    }
+    return defs_;
+  }
+
+ private:
+  char peek(std::size_t k = 0) const {
+    return i_ + k < text_.size() ? text_[i_ + k] : '\0';
+  }
+
+  void advance() {
+    if (i_ < text_.size()) {
+      if (text_[i_] == '\n') ++line_;
+      ++i_;
+    }
+  }
+
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      advance();
+    }
+  }
+
+  void skip_preprocessor_line() {
+    // Directive bodies are parsed from raw lines elsewhere; here we just
+    // skip the logical line, honouring backslash continuations.
+    while (i_ < text_.size()) {
+      if (text_[i_] == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (text_[i_] == '\n') {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  void consume_balanced(char open, char close) {
+    std::size_t depth = 0;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == open) ++depth;
+      if (c == close) {
+        advance();
+        if (--depth == 0) return;
+        continue;
+      }
+      advance();
+    }
+  }
+
+  /// Reads an identifier chain: `~Name`, `A::B::C`, a leading `::`, and
+  /// `operator` forms.  Leaves i_ just past the chain.
+  std::string read_chain() {
+    std::string chain;
+    if (peek() == ':' && peek(1) == ':') {
+      advance();
+      advance();
+    }
+    while (true) {
+      if (peek() == '~') {
+        chain += '~';
+        advance();
+      }
+      if (!ident_start(peek())) break;
+      std::string part;
+      while (ident_char(peek())) {
+        part += peek();
+        advance();
+      }
+      chain += part;
+      if (part == "operator") {
+        chain += read_operator_suffix();
+        break;
+      }
+      if (peek() == ':' && peek(1) == ':') {
+        chain += "::";
+        advance();
+        advance();
+        continue;
+      }
+      break;
+    }
+    return chain;
+  }
+
+  std::string read_operator_suffix() {
+    skip_ws();
+    std::string suffix;
+    if (peek() == '(' && peek(1) == ')') {
+      advance();
+      advance();
+      return "()";
+    }
+    if (peek() == '[' && peek(1) == ']') {
+      advance();
+      advance();
+      return "[]";
+    }
+    if (ident_start(peek())) {  // conversion operator: `operator bool`
+      suffix = " ";
+      while (ident_char(peek())) {
+        suffix += peek();
+        advance();
+      }
+      return suffix;
+    }
+    static const std::string kSymbols = "+-*/%^&|~!=<>,";
+    while (suffix.size() < 3 && kSymbols.find(peek()) != std::string::npos) {
+      suffix += peek();
+      advance();
+    }
+    return suffix;
+  }
+
+  /// After the parameter list's `)`: decides declaration vs definition,
+  /// consuming qualifiers, ctor init lists, and trailing return types.
+  /// Returns '{' (body follows, i_ at the brace), ';', or '\0' (not a
+  /// definition; resume scanning at i_).
+  char scan_decider() {
+    while (i_ < text_.size()) {
+      skip_ws();
+      const char c = peek();
+      if (c == ';') {
+        advance();
+        return ';';
+      }
+      if (c == '{') return '{';
+      if (c == '=') {  // `= default;` / `= delete;` / `= 0;`
+        while (i_ < text_.size() && peek() != ';') advance();
+        if (peek() == ';') advance();
+        return ';';
+      }
+      if (c == ':') {  // ctor init list
+        advance();
+        if (!consume_init_list()) return '\0';
+        skip_ws();
+        return peek() == '{' ? '{' : '\0';
+      }
+      if (c == '[' && peek(1) == '[') {  // attribute
+        consume_balanced('[', ']');
+        continue;
+      }
+      if (c == '-' && peek(1) == '>') {  // trailing return type
+        advance();
+        advance();
+        if (!consume_trailing_type()) return '\0';
+        continue;
+      }
+      if (ident_start(c)) {
+        const std::string tok = read_chain();
+        if (tok == "const" || tok == "override" || tok == "final" ||
+            tok == "mutable" || tok == "volatile" || tok == "constexpr" ||
+            tok == "try") {
+          continue;
+        }
+        if (tok == "noexcept") {
+          skip_ws();
+          if (peek() == '(') consume_balanced('(', ')');
+          continue;
+        }
+        return '\0';  // unknown token: not a definition
+      }
+      return '\0';
+    }
+    return '\0';
+  }
+
+  bool consume_init_list() {
+    while (i_ < text_.size()) {
+      skip_ws();
+      if (!ident_start(peek()) && !(peek() == ':' && peek(1) == ':')) {
+        return false;
+      }
+      read_chain();
+      skip_ws();
+      if (peek() == '<') consume_balanced('<', '>');
+      skip_ws();
+      if (peek() == '(') {
+        consume_balanced('(', ')');
+      } else if (peek() == '{') {
+        consume_balanced('{', '}');
+      } else {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_trailing_type() {
+    while (i_ < text_.size()) {
+      skip_ws();
+      const char c = peek();
+      if (c == '{' || c == ';' || c == '=') return true;
+      if (c == '(') {
+        consume_balanced('(', ')');
+      } else if (c == '<') {
+        consume_balanced('<', '>');
+      } else if (ident_start(c) || c == ':' || c == '*' || c == '&' ||
+                 c == ',') {
+        advance();
+        while (ident_char(peek()) || peek() == ':') advance();
+      } else {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void handle_identifier() {
+    const std::size_t tok_line = line_;
+    const std::string chain = read_chain();
+    if (chain.empty()) {
+      advance();
+      return;
+    }
+    skip_ws();
+    if (peek() != '(') return;  // plain mention; rescan from here
+    std::string name = chain;
+    const std::size_t sep = chain.rfind("::");
+    if (sep != std::string::npos) name = chain.substr(sep + 2);
+    if (keyword_set().count(name) != 0 || name.empty()) {
+      consume_balanced('(', ')');
+      return;
+    }
+    const std::size_t span_begin = i_;
+    consume_balanced('(', ')');
+    const std::size_t decider_start = i_;
+    const std::size_t decider_line = line_;
+    const char decider = scan_decider();
+    if (decider != '{') {
+      if (decider == '\0') {
+        // Not a definition; rewind so the unknown token is rescanned
+        // (it may itself start a definition).
+        i_ = decider_start;
+        line_ = decider_line;
+      }
+      return;
+    }
+    Def def;
+    def.name = name;
+    def.display = chain;
+    def.name_line = tok_line;
+    def.span_begin = span_begin;
+    def.begin_line = tok_line;
+    consume_balanced('{', '}');
+    def.span_end = i_;
+    def.end_line = line_;
+    defs_.push_back(std::move(def));
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  std::vector<Def> defs_;
+};
+
+struct LambdaSpan {
+  std::size_t begin = 0;  // offset of the body '{'
+  std::size_t end = 0;    // offset just past the matching '}'
+  std::size_t head = 0;   // offset of the '['
+};
+
+/// Finds lambda bodies inside [begin, end) of the stripped text.  Nested
+/// lambdas are reported too (callers rely on interval nesting).
+void find_lambdas(const std::string& text, std::size_t begin, std::size_t end,
+                  std::vector<LambdaSpan>& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (text[i] != '[') continue;
+    if (i + 1 < end && text[i + 1] == '[') {  // attribute
+      while (i < end && text[i] != '\n' && !(text[i] == ']' && i + 1 < end &&
+                                             text[i + 1] == ']')) {
+        ++i;
+      }
+      continue;
+    }
+    // Subscript if the previous significant char is a value.
+    std::size_t p = i;
+    while (p > begin) {
+      --p;
+      if (!std::isspace(static_cast<unsigned char>(text[p]))) break;
+    }
+    if (p != i && (ident_char(text[p]) || text[p] == ')' || text[p] == ']')) {
+      continue;
+    }
+    // Capture list.
+    std::size_t j = i;
+    std::size_t depth = 0;
+    while (j < end) {
+      if (text[j] == '[') ++depth;
+      if (text[j] == ']' && --depth == 0) break;
+      ++j;
+    }
+    if (j >= end) continue;
+    ++j;  // past ']'
+    auto skip_space = [&] {
+      while (j < end && std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+    };
+    auto skip_balanced = [&](char open, char close) {
+      std::size_t d = 0;
+      while (j < end) {
+        if (text[j] == open) ++d;
+        if (text[j] == close && --d == 0) {
+          ++j;
+          return;
+        }
+        ++j;
+      }
+    };
+    skip_space();
+    if (j < end && text[j] == '(') skip_balanced('(', ')');
+    // Qualifiers and an optional trailing return before the body.
+    while (j < end) {
+      skip_space();
+      if (j < end && text[j] == '{') break;
+      if (j + 1 < end && text[j] == '-' && text[j + 1] == '>') {
+        j += 2;
+        continue;
+      }
+      if (j < end && (ident_start(text[j]) || text[j] == ':')) {
+        ++j;
+        while (j < end && (ident_char(text[j]) || text[j] == ':')) ++j;
+        continue;
+      }
+      if (j < end && text[j] == '(') {
+        skip_balanced('(', ')');
+        continue;
+      }
+      if (j < end && text[j] == '<') {
+        skip_balanced('<', '>');
+        continue;
+      }
+      break;
+    }
+    if (j >= end || text[j] != '{') continue;
+    LambdaSpan span;
+    span.head = i;
+    span.begin = j;
+    std::size_t d = 0;
+    while (j < end) {
+      if (text[j] == '{') ++d;
+      if (text[j] == '}' && --d == 0) {
+        ++j;
+        break;
+      }
+      ++j;
+    }
+    span.end = j;
+    out.push_back(span);
+    i = span.begin;  // nested lambdas found by continuing inside the body
+  }
+}
+
+std::vector<std::size_t> line_offsets(const std::string& text) {
+  std::vector<std::size_t> offsets{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') offsets.push_back(i + 1);
+  }
+  return offsets;
+}
+
+std::size_t line_of(const std::vector<std::size_t>& offsets,
+                    std::size_t pos) {
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
+  return static_cast<std::size_t>(it - offsets.begin());
+}
+
+/// Extracts callee names (`ident (` in the masked span) into `def.calls`.
+void extract_calls(const std::string& text, std::size_t begin,
+                   std::size_t end,
+                   const std::vector<std::pair<std::size_t, std::size_t>>&
+                       masked,
+                   FunctionDef& def) {
+  std::set<std::string> seen;
+  std::size_t i = begin;
+  auto in_masked = [&](std::size_t pos) {
+    for (const auto& m : masked) {
+      if (pos >= m.first && pos < m.second) return true;
+    }
+    return false;
+  };
+  while (i < end) {
+    if (!ident_start(text[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < end && ident_char(text[i])) ++i;
+    std::size_t j = i;
+    while (j < end && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+    if (j < end && text[j] == '(' && !in_masked(start)) {
+      const std::string name = text.substr(start, i - start);
+      if (keyword_set().count(name) == 0 && seen.insert(name).second) {
+        def.calls.push_back(name);
+      }
+    }
+  }
+}
+
+void parse_macros(const FileRecord& record, std::size_t file_idx,
+                  std::vector<FunctionDef>& functions) {
+  static const std::regex kDefine(
+      R"(^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\()");
+  for (std::size_t i = 0; i < record.raw_lines.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(record.raw_lines[i], match, kDefine)) continue;
+    FunctionDef def;
+    def.name = match[1].str();
+    def.display = def.name;
+    def.file = file_idx;
+    def.name_line = def.begin_line = i + 1;
+    def.is_macro = true;
+    std::string body = record.raw_lines[i];
+    std::size_t j = i;
+    while (j < record.raw_lines.size() && !record.raw_lines[j].empty() &&
+           record.raw_lines[j].back() == '\\') {
+      ++j;
+      if (j < record.raw_lines.size()) body += "\n" + record.raw_lines[j];
+    }
+    def.end_line = j + 1;
+    const std::string stripped = strip(body);
+    FunctionDef scratch;
+    extract_calls(stripped, 0, stripped.size(), {}, scratch);
+    // Drop the macro's own name (the #define head looks like a call).
+    for (const std::string& call : scratch.calls) {
+      if (call != def.name) def.calls.push_back(call);
+    }
+    functions.push_back(std::move(def));
+  }
+}
+
+void parse_file(FileRecord& record, std::size_t file_idx,
+                const std::string& stripped, Index& index) {
+  const std::vector<std::size_t> offsets = line_offsets(stripped);
+
+  FunctionParser parser(stripped);
+  const std::vector<FunctionParser::Def> defs = parser.parse();
+  record.function_count = defs.size();
+
+  static const std::regex kHotEntry(R"(\bAH_HOT_ENTRY\b)");
+
+  for (const FunctionParser::Def& def : defs) {
+    // Nested lambda spans inside this definition (intervals nest).
+    std::vector<LambdaSpan> lambdas;
+    find_lambdas(stripped, def.span_begin, def.span_end, lambdas);
+    std::sort(lambdas.begin(), lambdas.end(),
+              [](const LambdaSpan& a, const LambdaSpan& b) {
+                return a.begin < b.begin;
+              });
+
+    const std::size_t fn_idx = index.functions.size();
+    FunctionDef named;
+    named.name = def.name;
+    named.display = def.display;
+    named.file = file_idx;
+    named.name_line = def.name_line;
+    named.begin_line = def.begin_line;
+    named.end_line = def.end_line;
+    index.functions.push_back(std::move(named));
+
+    std::vector<std::size_t> lambda_idx(lambdas.size());
+    for (std::size_t li = 0; li < lambdas.size(); ++li) {
+      FunctionDef node;
+      node.file = file_idx;
+      node.is_lambda = true;
+      node.name_line = line_of(offsets, lambdas[li].head);
+      node.begin_line = line_of(offsets, lambdas[li].begin);
+      node.end_line = line_of(offsets, lambdas[li].end == 0
+                                           ? lambdas[li].begin
+                                           : lambdas[li].end - 1);
+      node.display = "lambda@" + record.rel + ":" +
+                     std::to_string(node.name_line);
+      lambda_idx[li] = index.functions.size();
+      index.functions.push_back(std::move(node));
+    }
+
+    // Ownership: each node's span minus the spans of lambdas strictly
+    // inside it (`>` so a lambda is not its own child).  The named function
+    // owns everything else.
+    auto children_of = [&](std::size_t begin, std::size_t end) {
+      std::vector<std::pair<std::size_t, std::size_t>> spans;
+      std::size_t cover = begin;
+      for (const LambdaSpan& l : lambdas) {
+        if (l.begin > begin && l.end <= end && l.begin >= cover) {
+          spans.emplace_back(l.begin, l.end);
+          cover = l.end;  // skip lambdas nested inside this child
+        }
+      }
+      return spans;
+    };
+
+    auto finish_node = [&](std::size_t idx, std::size_t begin,
+                           std::size_t end) {
+      FunctionDef& node = index.functions[idx];
+      const auto masked = children_of(begin, end);
+      extract_calls(stripped, begin, end, masked, node);
+      // Direct creation-site edges to immediate lambda children.
+      for (std::size_t li = 0; li < lambdas.size(); ++li) {
+        for (const auto& m : masked) {
+          if (lambdas[li].begin == m.first) {
+            node.direct_callees.push_back(lambda_idx[li]);
+          }
+        }
+      }
+      // Own lines (for span-scoped rule scans) and the taint seed.
+      const std::size_t first = line_of(offsets, begin);
+      const std::size_t last = line_of(offsets, end == 0 ? begin : end - 1);
+      for (std::size_t ln = first; ln <= last; ++ln) {
+        const std::size_t ln_start = offsets[ln - 1];
+        bool owned = true;
+        for (const auto& m : masked) {
+          if (ln_start >= m.first && ln_start < m.second) owned = false;
+        }
+        if (!owned) continue;
+        node.own_lines.push_back(ln);
+        if (ln <= record.lines.size() &&
+            std::regex_search(record.lines[ln - 1], kHotEntry)) {
+          node.hot_entry = true;
+        }
+      }
+    };
+
+    finish_node(fn_idx, def.span_begin, def.span_end);
+    for (std::size_t li = 0; li < lambdas.size(); ++li) {
+      finish_node(lambda_idx[li], lambdas[li].begin, lambdas[li].end);
+    }
+  }
+}
+
+void load_file(const fs::path& path, std::size_t root_idx,
+               const std::string& rel, Index& index) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    index.io_error = true;
+    std::cerr << "ah_lint: cannot read " << path.string() << "\n";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::string stripped = strip(raw);
+
+  FileRecord record;
+  record.path = path;
+  record.rel = rel;
+  record.raw_lines = split_lines(raw);
+  record.lines = split_lines(stripped);
+  record.lines_lit = split_lines(strip(raw, /*keep_literals=*/true));
+
+  // Suppressions and markers are read from the raw text: they are macros
+  // whose tokens survive preprocessing, and scanning raw text keeps the
+  // linter independent of how they expand.
+  static const std::regex kAllow(R"(AH_LINT_ALLOW\s*\(\s*([A-Za-z_]+))");
+  static const std::regex kLayerAllow(R"(AH_LAYERING_ALLOW\s*\()");
+  static const std::regex kHotPath(R"(^\s*AH_HOT_PATH_FILE\s*;)");
+  static const std::regex kImmutable(R"(^\s*AH_IMMUTABLE_STATE_FILE\s*;)");
+  static const std::regex kInclude(R"(#\s*include\s*\"([^\"]+)\")");
+  for (std::size_t i = 0; i < record.raw_lines.size(); ++i) {
+    const std::string& line = record.raw_lines[i];
+    std::smatch match;
+    if (std::regex_search(line, match, kAllow)) {
+      record.allows.emplace(i + 1, match[1].str());
+    }
+    if (std::regex_search(line, kLayerAllow)) {
+      record.allows.emplace(i + 1, "layering");
+    }
+    if (std::regex_search(line, kHotPath) && !record.hot_path) {
+      record.hot_path = true;
+      record.hot_path_line = i + 1;
+    }
+    if (std::regex_search(line, kImmutable)) record.immutable = true;
+    if (std::regex_search(line, match, kInclude)) {
+      record.includes.emplace_back(i + 1, match[1].str());
+    }
+  }
+
+  const std::size_t file_idx = index.files.size();
+  index.files.push_back(std::move(record));
+  index.root_of.push_back(root_idx);
+  parse_macros(index.files[file_idx], file_idx, index.functions);
+  parse_file(index.files[file_idx], file_idx, stripped, index);
+}
+
+}  // namespace
+
+Index build_index(const std::vector<fs::path>& paths) {
+  Index index;
+  // (sort key, path, root index, rel display) — sorted for determinism.
+  std::vector<std::tuple<std::string, fs::path, std::size_t, std::string>>
+      files;
+  for (const fs::path& path : paths) {
+    if (fs::is_directory(path)) {
+      const std::size_t root_idx = index.roots.size();
+      index.roots.push_back(path);
+      const std::string base = path.filename().string();
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const auto ext = entry.path().extension();
+        if (ext != ".hpp" && ext != ".cpp") continue;
+        const std::string rel =
+            (base.empty() ? std::string() : base + "/") +
+            entry.path().lexically_relative(path).generic_string();
+        files.emplace_back(entry.path().string(), entry.path(), root_idx,
+                           rel);
+      }
+    } else {
+      const std::size_t root_idx = index.roots.size();
+      index.roots.push_back(path.parent_path());
+      files.emplace_back(path.string(), path, root_idx,
+                         path.filename().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [key, path, root_idx, rel] : files) {
+    load_file(path, root_idx, rel, index);
+  }
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionDef& fn = index.functions[i];
+    if (!fn.is_lambda) index.by_name[fn.name].push_back(i);
+  }
+  return index;
+}
+
+}  // namespace ah_lint

@@ -1,0 +1,95 @@
+// ah_lint indexing pass: loads every source file once and produces the
+// repo-wide facts the rule passes consume — comment/literal-stripped text,
+// per-file markers and suppressions, raw `#include` directives, and a
+// lightweight symbol table of function definitions (named functions,
+// function-like macros, and lambdas) with the names each body calls.
+//
+// The indexer is deliberately heuristic (no libclang): it brace-matches the
+// stripped token stream.  Mis-parses degrade to missing nodes or missing
+// edges, never to crashes, and the taint pass is designed so that a missing
+// edge shows up as a loud `stale marker` finding rather than silence.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ah_lint {
+
+/// Replaces comments and (unless `keep_literals`) string/char literal
+/// contents with spaces, preserving newlines and therefore line numbers.
+/// Handles //, /* */, "...", '...', R"delim(...)delim", digit separators
+/// (1'000 does not open a char literal), and line comments continued with a
+/// trailing backslash.  With `keep_literals`, only comments are blanked —
+/// used by checks that must look inside format strings.
+std::string strip(const std::string& text, bool keep_literals = false);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+/// One function-shaped node in the call graph: a named function (free
+/// function, member, out-of-line member), a function-like macro, or a
+/// lambda nested in one of those.
+struct FunctionDef {
+  std::string name;        ///< unqualified name used for call resolution
+  std::string display;     ///< qualified spelling for messages/chains
+  std::size_t file = 0;    ///< index into Index::files
+  std::size_t name_line = 1;  ///< line of the name (macro/lambda: head)
+  std::size_t begin_line = 1; ///< first line of the scanned span
+  std::size_t end_line = 1;   ///< last line of the scanned span
+  bool is_macro = false;
+  bool is_lambda = false;
+  bool hot_entry = false;  ///< carries an AH_HOT_ENTRY taint seed
+  /// Callee names extracted from this node's own text (nested lambda
+  /// bodies excluded — those get their own node).
+  std::vector<std::string> calls;
+  /// Creation-site edges to nested lambdas: the enclosing function may
+  /// invoke (or schedule) the closure it builds, so taint flows in.
+  std::vector<std::size_t> direct_callees;
+  /// Lines owned by this node and no nested lambda, for span-scoped rule
+  /// scans (1-based, sorted).
+  std::vector<std::size_t> own_lines;
+};
+
+struct FileRecord {
+  std::filesystem::path path;  ///< path as discovered (printed in text mode)
+  std::string rel;             ///< stable display path: <root-basename>/<rel>
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> lines;      ///< stripped
+  std::vector<std::string> lines_lit;  ///< comment-stripped, literals kept
+  bool hot_path = false;   ///< AH_HOT_PATH_FILE;
+  bool immutable = false;  ///< AH_IMMUTABLE_STATE_FILE;
+  std::size_t hot_path_line = 0;  ///< line of the AH_HOT_PATH_FILE marker
+  /// (line, rule) suppressions: AH_LINT_ALLOW / AH_LAYERING_ALLOW.
+  std::set<std::pair<std::size_t, std::string>> allows;
+  /// Project-form includes as written: (line, "dir/file.hpp").
+  std::vector<std::pair<std::size_t, std::string>> includes;
+  std::size_t function_count = 0;  ///< named functions defined here
+};
+
+struct Index {
+  std::vector<FileRecord> files;
+  std::vector<FunctionDef> functions;
+  /// Call resolution: unqualified name -> indices into `functions`
+  /// (named functions and macros; lambdas are reached via direct edges).
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// The directory (or the file's parent, for file arguments) each file
+  /// was discovered under; include resolution bases.
+  std::vector<std::filesystem::path> roots;
+  std::vector<std::size_t> root_of;  ///< per file: index into roots
+  bool io_error = false;
+
+  const FileRecord& file_of(const FunctionDef& fn) const {
+    return files[fn.file];
+  }
+};
+
+/// Loads, strips, and parses every .hpp/.cpp under the given paths
+/// (directories are walked recursively; the file list is sorted so output
+/// is deterministic).
+Index build_index(const std::vector<std::filesystem::path>& paths);
+
+}  // namespace ah_lint

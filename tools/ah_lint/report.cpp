@@ -1,0 +1,177 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace ah_lint {
+
+std::size_t Baseline::tolerated(const std::string& rel,
+                                const std::string& rule) const {
+  const auto key = std::make_pair(rel, rule);
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), key,
+      [](const auto& entry, const auto& k) { return entry.first < k; });
+  if (it != counts.end() && it->first == key) return it->second;
+  return 0;
+}
+
+bool load_baseline(const std::string& path, Baseline& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ah_lint: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::size_t count = 0;
+    std::string rule;
+    std::string rel;
+    if (!(fields >> count >> rule >> rel)) {
+      std::cerr << "ah_lint: bad baseline entry at " << path << ":" << line_no
+                << " (want `<count> <rule> <rel>`)\n";
+      return false;
+    }
+    out.counts.push_back({{rel, rule}, count});
+  }
+  std::sort(out.counts.begin(), out.counts.end());
+  return true;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const Finding& finding : findings) {
+    ++counts[{finding.rel, finding.rule}];
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "ah_lint: cannot write baseline " << path << "\n";
+    return false;
+  }
+  out << "# ah_lint findings baseline: tolerated findings per (file, rule).\n"
+         "# Regenerate with: ah_lint --write-baseline <this-file> <paths>\n"
+         "# CI fails only when a (file, rule) count EXCEEDS its entry here.\n";
+  for (const auto& [key, count] : counts) {
+    out << count << " " << key.second << " " << key.first << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline,
+                                    std::size_t& suppressed_out) {
+  std::map<std::pair<std::string, std::string>, std::size_t> used;
+  std::vector<Finding> above;
+  suppressed_out = 0;
+  for (const Finding& finding : findings) {
+    const auto key = std::make_pair(finding.rel, finding.rule);
+    if (used[key] < baseline.tolerated(finding.rel, finding.rule)) {
+      ++used[key];
+      ++suppressed_out;
+    } else {
+      above.push_back(finding);
+    }
+  }
+  return above;
+}
+
+void print_text(std::ostream& out, std::ostream& err,
+                const std::vector<Finding>& findings,
+                std::size_t files_scanned, std::size_t baseline_suppressed) {
+  for (const Finding& finding : findings) {
+    out << finding.file << ":" << finding.line << ": [" << finding.rule
+        << "] " << finding.message << "\n";
+  }
+  err << "ah_lint: " << findings.size() << " finding(s) in " << files_scanned
+      << " file(s)";
+  if (baseline_suppressed != 0) {
+    err << " (" << baseline_suppressed << " within baseline)";
+  }
+  err << "\n";
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_json(std::ostream& out, const std::vector<Finding>& findings,
+                std::size_t files_scanned) {
+  out << "{\n  \"version\": 1,\n  \"rules\": [";
+  const std::vector<RuleDoc>& docs = rule_docs();
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << docs[i].name << "\"";
+  }
+  out << "],\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << json_escape(f.rel)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+        << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void print_rule_list(std::ostream& out) {
+  for (const RuleDoc& rule : rule_docs()) {
+    out << rule.name << "\n    " << rule.summary << "\n";
+  }
+}
+
+bool print_explain(std::ostream& out, const std::string& rule) {
+  for (const RuleDoc& doc : rule_docs()) {
+    if (rule == doc.name) {
+      out << doc.name << "\n    " << doc.summary << "\n\n" << doc.details
+          << "\n";
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_taint(std::ostream& out, const Index& index, const Taint& taint) {
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    if (!taint.tainted[i]) continue;
+    const FunctionDef& fn = index.functions[i];
+    out << index.file_of(fn).rel << ": " << fn.display;
+    if (fn.hot_entry) {
+      out << "  [seed]";
+    } else {
+      out << "  [" << taint_chain(index, taint, i) << "]";
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace ah_lint

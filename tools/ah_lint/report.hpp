@@ -1,0 +1,62 @@
+// ah_lint report pass: finding output (text and stable JSON), the
+// committed-findings baseline (count-per-(file,rule) tolerance so CI fails
+// only on NEW findings), --explain, and the --dump-taint debug view.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "index.hpp"
+#include "rules.hpp"
+
+namespace ah_lint {
+
+/// Tolerated finding counts per (rel path, rule), loaded from a baseline
+/// file.  Format: one `<count> <rule> <rel>` entry per line, '#' comments.
+struct Baseline {
+  std::vector<std::pair<std::pair<std::string, std::string>, std::size_t>>
+      counts;  ///< ((rel, rule), tolerated count), sorted
+
+  std::size_t tolerated(const std::string& rel, const std::string& rule) const;
+};
+
+/// Loads `path`; returns false (and reports to stderr) on I/O or parse
+/// errors.
+bool load_baseline(const std::string& path, Baseline& out);
+
+/// Writes the current findings as a baseline file (sorted, regenerable).
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings);
+
+/// Drops the first `tolerated` findings of each (rel, rule) group; what
+/// remains is "above baseline" and drives the exit code.  Also returns the
+/// number suppressed via `suppressed_out`.
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline,
+                                    std::size_t& suppressed_out);
+
+/// Text mode: `path:line: [rule] message` per finding on `out`, summary on
+/// `err`.
+void print_text(std::ostream& out, std::ostream& err,
+                const std::vector<Finding>& findings,
+                std::size_t files_scanned, std::size_t baseline_suppressed);
+
+/// JSON mode: {"version":1,"rules":[...],"files_scanned":N,"findings":[...]}
+/// — rules in registration order, findings keyed by stable rel paths, no
+/// environment-dependent content, so diffs and CI artifacts are stable.
+void print_json(std::ostream& out, const std::vector<Finding>& findings,
+                std::size_t files_scanned);
+
+/// One-line-per-rule catalogue (name + indented summary), as before.
+void print_rule_list(std::ostream& out);
+
+/// Full --explain entry for `rule`; returns false for unknown rules.
+bool print_explain(std::ostream& out, const std::string& rule);
+
+/// Debug view: `rel: display  [chain]` per tainted function, file order.
+void print_taint(std::ostream& out, const Index& index, const Taint& taint);
+
+}  // namespace ah_lint

@@ -1,0 +1,42 @@
+// ah_lint rule pass: the rule catalogue (names, summaries, --explain
+// details, registration order) and the evaluation that turns the index +
+// graphs into findings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "index.hpp"
+
+namespace ah_lint {
+
+struct RuleDoc {
+  const char* name;
+  const char* summary;
+  const char* details;  ///< --explain body: rationale, scope, example
+};
+
+/// Registration-ordered rule catalogue; the order is the tiebreak for
+/// finding output and the order of the JSON `rules` array.
+const std::vector<RuleDoc>& rule_docs();
+
+/// Index of `name` in rule_docs(), or npos.
+std::size_t rule_registration(const std::string& name);
+
+struct Finding {
+  std::string file;  ///< path as discovered (printed in text mode)
+  std::string rel;   ///< stable display path (JSON / baselines)
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule over the index.  Findings are sorted by
+/// (file, line, rule registration order, message).
+std::vector<Finding> run_rules(const Index& index,
+                               const IncludeGraph& includes,
+                               const Taint& taint);
+
+}  // namespace ah_lint
