@@ -1,0 +1,306 @@
+// Overload benchmark: goodput-vs-p95 tradeoff under a flash crowd with a
+// correlated failure, admission controller off vs on.
+//
+// One scripted scenario (sim::ScenarioPlan) drives every run: the arrival
+// rate swells to 3x through a flash window, and mid-flash a "rack" holding
+// one app and one db node crashes and later restarts.  The same seed and
+// timeline are replayed once with admission control disabled and once per
+// p95 target, so the only difference between curve points is the control
+// law.  Shed requests fall back to stale cache copies (ShedMode::
+// kServeStale), so shedding trades freshness — not goodput — for latency.
+//
+// Reported per curve point (BENCH_overload.json):
+//
+//   * flash goodput (WIPS)       — mean bucket WIPS inside the flash window
+//   * flash p95 (ms)             — browser-observed, merged flash buckets
+//   * shed / stale fractions     — how much the controller refused, and how
+//                                  much of that was absorbed by stale serves
+//   * min admit fraction         — deepest cut the control loop made
+//
+// Deterministic: single timeline, fixed seed, everything scripted.
+//
+// Usage: bench_overload [--smoke] [--metrics <path>]
+//   --smoke    compressed timeline for the ctest smoke run.
+//   --metrics  write the controller-on end-of-run registry snapshot (JSON).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/system_model.hpp"
+#include "obs/histogram.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "tpcw/metrics.hpp"
+#include "tpcw/mix.hpp"
+#include "tpcw/workload.hpp"
+
+namespace {
+
+using namespace ah;
+
+struct Timeline {
+  double bucket_s = 10.0;
+  double flash_t0 = 120.0;
+  double flash_t1 = 300.0;
+  double flash_peak = 3.0;
+  double rack_t0 = 160.0;
+  double rack_t1 = 240.0;
+  double end_s = 360.0;
+  int browsers = 900;
+};
+
+struct Bucket {
+  double start_s = 0.0;
+  double wips = 0.0;
+  double p95_ms = 0.0;
+  double admit_fraction = 1.0;
+};
+
+struct RunResult {
+  double target_ms = 0.0;  // 0 = controller off
+  std::vector<Bucket> buckets;
+  double baseline_wips = 0.0;  // pre-flash, warm buckets
+  double flash_wips = 0.0;     // mean bucket WIPS inside the flash window
+  double flash_p95_ms = 0.0;   // merged flash-window distribution
+  double peak_wips = 0.0;      // best single bucket anywhere in the run
+  double shed_fraction = 0.0;
+  double stale_fraction = 0.0;  // stale serves / shed requests
+  double min_admit = 1.0;
+};
+
+RunResult run_once(const Timeline& tl, double target_ms, bool write_metrics,
+                   const std::string& metrics_path) {
+  sim::Simulator sim;
+  core::SystemModel::Config topology;
+  topology.lines = {core::SystemModel::LineSpec{2, 2, 2}};
+  core::SystemModel system(sim, topology);
+  system.enable_fault_tolerance({});
+  if (target_ms > 0.0) {
+    core::SystemModel::OverloadControlConfig control;
+    control.admission.target_p95 =
+        common::SimTime::millis(static_cast<std::int64_t>(target_ms));
+    control.shed_mode = webstack::ProxyServer::ShedMode::kServeStale;
+    system.enable_admission_control(control);
+  }
+
+  // The correlated failure domain: one app and one db node share the rack.
+  const auto app_victim =
+      system.cluster().tier(cluster::TierKind::kApp).members()[1];
+  const auto db_victim =
+      system.cluster().tier(cluster::TierKind::kDb).members()[1];
+  char plan_text[160];
+  std::snprintf(plan_text, sizeof(plan_text),
+                "flash:%.1f@%.0f-%.0f; rack:%u+%u@%.0f-%.0f", tl.flash_peak,
+                tl.flash_t0, tl.flash_t1, app_victim, db_victim, tl.rack_t0,
+                tl.rack_t1);
+  std::string error;
+  const auto plan = sim::ScenarioPlan::parse(plan_text, &error);
+  if (!plan.has_value()) {
+    std::fprintf(stderr, "internal: bad scenario '%s': %s\n", plan_text,
+                 error.c_str());
+    std::exit(1);
+  }
+  system.install_scenario(*plan);
+
+  tpcw::WipsMeter meter;
+  tpcw::Workload::Config workload_config;
+  workload_config.browsers = tl.browsers;
+  // A reloading user keeps the original issue timestamp, so a fast-failed
+  // shed that eventually succeeds records its whole back-off as latency and
+  // swamps the p95 the controller is actually holding.  Shed responses are
+  // final here: the stale path absorbs cacheable traffic, failures count
+  // against goodput.
+  workload_config.retry.max_retries = 0;
+  tpcw::Workload workload(sim, system.frontend(0),
+                          &tpcw::Mix::standard(tpcw::WorkloadKind::kShopping),
+                          meter, workload_config);
+  workload.set_arrival_modulation(&system.scenario()->arrival);
+  workload.apply_mix_schedule(system.scenario()->mix_changes);
+  workload.start();
+
+  RunResult result;
+  result.target_ms = target_ms;
+  obs::Histogram flash_latency;
+  double baseline = 0.0, flash = 0.0;
+  int baseline_count = 0, flash_count = 0;
+  for (double t = 0.0; t < tl.end_s; t += tl.bucket_s) {
+    meter.arm(common::SimTime::seconds(t),
+              common::SimTime::seconds(t + tl.bucket_s));
+    sim.run_until(common::SimTime::seconds(t + tl.bucket_s));
+    Bucket bucket;
+    bucket.start_s = t;
+    bucket.wips = meter.wips();
+    bucket.p95_ms =
+        static_cast<double>(meter.latency_histogram().p95_us()) / 1e3;
+    ctrl::AdmissionController* admission = system.line_admission(0);
+    bucket.admit_fraction =
+        admission != nullptr ? admission->admit_fraction() : 1.0;
+    result.min_admit = std::min(result.min_admit, bucket.admit_fraction);
+    result.peak_wips = std::max(result.peak_wips, bucket.wips);
+    // Warm pre-flash buckets (skip two for cache warm-up) vs flash window.
+    if (t >= 2.0 * tl.bucket_s && t + tl.bucket_s <= tl.flash_t0) {
+      baseline += bucket.wips;
+      ++baseline_count;
+    } else if (t >= tl.flash_t0 && t + tl.bucket_s <= tl.flash_t1) {
+      flash += bucket.wips;
+      ++flash_count;
+      flash_latency.merge(meter.latency_histogram());
+    }
+    result.buckets.push_back(bucket);
+  }
+  if (baseline_count > 0) result.baseline_wips = baseline / baseline_count;
+  if (flash_count > 0) result.flash_wips = flash / flash_count;
+  result.flash_p95_ms = static_cast<double>(flash_latency.p95_us()) / 1e3;
+
+  const obs::Registry& metrics = system.metrics();
+  const std::uint64_t admitted = metrics.counter_value("ctrl.admitted");
+  const std::uint64_t shed = metrics.counter_value("ctrl.shed");
+  const std::uint64_t stale = metrics.counter_value("proxy.shed_stale");
+  if (admitted + shed > 0) {
+    result.shed_fraction =
+        static_cast<double>(shed) / static_cast<double>(admitted + shed);
+  }
+  if (shed > 0) {
+    result.stale_fraction =
+        static_cast<double>(stale) / static_cast<double>(shed);
+  }
+  if (write_metrics && !metrics_path.empty() &&
+      !system.metrics().write_json(metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string metrics_path = bench::string_flag(argc, argv, "--metrics");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  Timeline tl;
+  if (smoke) {
+    tl.bucket_s = 5.0;
+    tl.flash_t0 = 30.0;
+    tl.flash_t1 = 80.0;
+    tl.rack_t0 = 40.0;
+    tl.rack_t1 = 65.0;
+    tl.end_s = 100.0;
+    tl.browsers = 600;
+  }
+
+  // Curve: controller off (0), then tightening p95 targets.
+  const std::vector<double> targets =
+      smoke ? std::vector<double>{0.0, 400.0}
+            : std::vector<double>{0.0, 1500.0, 800.0, 400.0};
+
+  std::printf("bench_overload%s: flash x%.1f @%.0f-%.0fs, rack outage "
+              "@%.0f-%.0fs, %d browsers\n",
+              smoke ? " (--smoke)" : "", tl.flash_peak, tl.flash_t0,
+              tl.flash_t1, tl.rack_t0, tl.rack_t1, tl.browsers);
+
+  std::vector<RunResult> runs;
+  for (double target : targets) {
+    // The tightest target's registry snapshot is the interesting one.
+    const bool last = target == targets.back();
+    runs.push_back(run_once(tl, target, last, metrics_path));
+    const RunResult& r = runs.back();
+    std::printf("  target %6.0fms: flash %.1f WIPS, p95 %.0fms, shed %.1f%%, "
+                "admit floor %.2f\n",
+                r.target_ms, r.flash_wips, r.flash_p95_ms,
+                100.0 * r.shed_fraction, r.min_admit);
+  }
+
+  std::FILE* out = std::fopen("BENCH_overload.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_overload.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"bench_overload\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"topology\": \"1 line x (2 proxy + 2 app + 2 db)\",\n");
+  std::fprintf(out, "  \"browsers\": %d,\n", tl.browsers);
+  std::fprintf(out, "  \"flash\": {\"peak\": %.1f, \"t0\": %.0f, "
+                    "\"t1\": %.0f},\n",
+               tl.flash_peak, tl.flash_t0, tl.flash_t1);
+  std::fprintf(out, "  \"rack_outage\": {\"t0\": %.0f, \"t1\": %.0f},\n",
+               tl.rack_t0, tl.rack_t1);
+  std::fprintf(out, "  \"curve\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(out,
+                 "    {\"target_ms\": %.0f, \"flash_goodput_wips\": %.2f, "
+                 "\"flash_p95_ms\": %.2f, \"baseline_wips\": %.2f, "
+                 "\"peak_wips\": %.2f, \"shed_fraction\": %.4f, "
+                 "\"stale_fraction\": %.4f, \"min_admit\": %.3f}%s\n",
+                 r.target_ms, r.flash_wips, r.flash_p95_ms, r.baseline_wips,
+                 r.peak_wips, r.shed_fraction, r.stale_fraction, r.min_admit,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(out, "    {\"target_ms\": %.0f, \"buckets\": [\n",
+                 r.target_ms);
+    for (std::size_t b = 0; b < r.buckets.size(); ++b) {
+      std::fprintf(out,
+                   "      {\"t\": %.0f, \"wips\": %.2f, \"p95_ms\": %.2f, "
+                   "\"admit\": %.3f}%s\n",
+                   r.buckets[b].start_s, r.buckets[b].wips,
+                   r.buckets[b].p95_ms, r.buckets[b].admit_fraction,
+                   b + 1 < r.buckets.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_overload.json\n");
+
+  // Sanity gates.  Smoke checks wiring; the full run checks the tradeoff
+  // claim itself: with the controller on, the flash-window p95 stays near
+  // the target while goodput stays within 85% of the uncontrolled peak.
+  const RunResult& off = runs.front();
+  if (off.flash_wips <= 0.0 || off.flash_p95_ms <= 0.0) {
+    std::fprintf(stderr, "FAIL: controller-off run produced no flash data\n");
+    return 1;
+  }
+  for (const RunResult& r : runs) {
+    if (r.target_ms == 0.0) continue;
+    if (r.shed_fraction <= 0.0) {
+      std::fprintf(stderr, "FAIL: target %.0fms never shed under overload\n",
+                   r.target_ms);
+      return 1;
+    }
+  }
+  if (!smoke) {
+    // The tradeoff claim: some operating point both holds its p95 target
+    // (within 25% — the controller sees proxy latency, the meter sees the
+    // browser's) and keeps >= 85% of the goodput the uncontrolled system
+    // managed through the same flash.  Tighter points on the curve are
+    // allowed to trade goodput away; that is the curve's whole story.
+    bool tradeoff_met = false;
+    for (const RunResult& r : runs) {
+      if (r.target_ms == 0.0 || off.flash_p95_ms <= r.target_ms) continue;
+      if (r.flash_p95_ms <= 1.25 * r.target_ms &&
+          r.flash_wips >= 0.85 * off.flash_wips) {
+        tradeoff_met = true;
+      }
+    }
+    if (!tradeoff_met) {
+      std::fprintf(stderr,
+                   "FAIL: no target held p95 while keeping 85%% of the "
+                   "uncontrolled flash goodput (%.1f WIPS, p95 %.0fms)\n",
+                   off.flash_wips, off.flash_p95_ms);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -63,6 +63,7 @@ void HealthChecker::probe(NodeId id, NodeState& state) {
       publish(id, true);
     }
   } else {
+    ++failed_probes_;
     state.consecutive_successes = 0;
     if (state.up && ++state.consecutive_failures >= config_.mark_down_after) {
       state.up = false;
@@ -74,9 +75,27 @@ void HealthChecker::probe(NodeId id, NodeState& state) {
 
 void HealthChecker::publish(NodeId id, bool up) {
   ++transitions_;
+  NodeState& state = states_.at(id);
+  if (up) {
+    ++mark_ups_;
+    if (nodes_down_ > 0) --nodes_down_;
+    closed_downtime_ = closed_downtime_ + (sim_.now() - state.down_since);
+  } else {
+    ++mark_downs_;
+    ++nodes_down_;
+    state.down_since = sim_.now();
+  }
   cluster_.node(id).set_marked_up(up);
   cluster_.tier(cluster_.tier_of(id)).set_member_health(id, up);
   if (observer_) observer_(id, up);
+}
+
+common::SimTime HealthChecker::total_downtime() const {
+  common::SimTime total = closed_downtime_;
+  for (const NodeState& state : states_) {
+    if (!state.up) total = total + (sim_.now() - state.down_since);
+  }
+  return total;
 }
 
 }  // namespace ah::cluster

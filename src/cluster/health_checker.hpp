@@ -82,12 +82,25 @@ class HealthChecker {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_; }
   [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  /// Probes that went unanswered (the probe budget being consumed; every
+  /// `mark_down_after`-th consecutive one exhausts it into a mark-down).
+  [[nodiscard]] std::uint64_t failed_probes() const { return failed_probes_; }
+  [[nodiscard]] std::uint64_t mark_downs() const { return mark_downs_; }
+  [[nodiscard]] std::uint64_t mark_ups() const { return mark_ups_; }
+  /// Nodes currently marked down.
+  [[nodiscard]] int nodes_down() const { return nodes_down_; }
+  /// Total marked-down node-time: closed mark-down windows plus the open
+  /// ones up to now.  The per-incident mark-down duration the tuner and
+  /// the SLA accounting care about, in aggregate.
+  [[nodiscard]] common::SimTime total_downtime() const;
 
  private:
   struct NodeState {
     int consecutive_failures = 0;
     int consecutive_successes = 0;
     bool up = true;
+    /// Mark-down instant while down (downtime accounting).
+    common::SimTime down_since = common::SimTime::zero();
   };
 
   void tick();
@@ -106,6 +119,12 @@ class HealthChecker {
   bool running_ = false;
   std::uint64_t probes_ = 0;
   std::uint64_t transitions_ = 0;
+  std::uint64_t failed_probes_ = 0;
+  std::uint64_t mark_downs_ = 0;
+  std::uint64_t mark_ups_ = 0;
+  int nodes_down_ = 0;
+  /// Downtime of already-closed mark-down windows.
+  common::SimTime closed_downtime_ = common::SimTime::zero();
 };
 
 }  // namespace ah::cluster

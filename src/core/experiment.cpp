@@ -38,6 +38,15 @@ void Experiment::set_wirt_tracker(tpcw::WirtTracker* tracker) {
   for (auto& workload : workloads_) workload->set_wirt_tracker(tracker);
 }
 
+void Experiment::apply_scenario(const sim::ScenarioPlan& plan) {
+  system_.install_scenario(plan);
+  const sim::ScenarioPlan* installed = system_.scenario();
+  for (auto& workload : workloads_) {
+    workload->set_arrival_modulation(&installed->arrival);
+    workload->apply_mix_schedule(installed->mix_changes);
+  }
+}
+
 const tpcw::WipsMeter& Experiment::meter(std::size_t line) const {
   return *meters_.at(line);
 }

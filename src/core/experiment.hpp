@@ -83,6 +83,12 @@ class Experiment {
   /// clause 5.5 response-time compliance).  Not owned; nullptr detaches.
   void set_wirt_tracker(tpcw::WirtTracker* tracker);
 
+  /// Installs a full scenario: faults via SystemModel::install_scenario,
+  /// arrival modulation and mix drift on every work line's browsers.  The
+  /// plan is owned by the model, so the modulation pointers stay valid for
+  /// the experiment's lifetime.
+  void apply_scenario(const sim::ScenarioPlan& plan);
+
   [[nodiscard]] std::size_t iterations_run() const { return iterations_; }
   /// The configuration this experiment was built from (replica cloning).
   [[nodiscard]] const Config& config() const { return config_; }

@@ -1,6 +1,20 @@
 #include "core/reconfig_controller.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace ah::core {
+
+namespace {
+
+/// Bottleneck pressure of one reading: its hottest resource.
+double peak_utilization(const harmony::NodeReading& reading) {
+  double peak = 0.0;
+  for (const double u : reading.utilization) peak = std::max(peak, u);
+  return peak;
+}
+
+}  // namespace
 
 ReconfigController::ReconfigController(SystemModel& system,
                                        harmony::ReconfigOptions options)
@@ -25,6 +39,94 @@ std::optional<harmony::ReconfigDecision> ReconfigController::check() {
       common::SimTime::seconds(
           reconfigurer_.options().config_cost_seconds));
   moves_.push_back(*decision);
+  return decision;
+}
+
+void ReconfigController::enable_reactive(const ReactiveOptions& options) {
+  if (system_.sharded()) {
+    throw std::logic_error(
+        "reactive reconfiguration needs the single-timeline model "
+        "(move_node is cross-line state)");
+  }
+  reactive_ = options;
+  reactive_enabled_ = true;
+  breach_streak_ = 0;
+  system_.set_health_transition_hook(
+      [this](cluster::NodeId id, bool up) { on_health_transition(id, up); });
+}
+
+std::optional<harmony::ReconfigDecision> ReconfigController::observe_p95(
+    common::SimTime p95) {
+  if (!reactive_enabled_) return std::nullopt;
+  if (p95 <= reactive_.p95_target) {
+    breach_streak_ = 0;
+    return std::nullopt;
+  }
+  if (++breach_streak_ < reactive_.breach_streak) return std::nullopt;
+  breach_streak_ = 0;
+  // The tier of the hottest node is where the latency is coming from.
+  const auto readings = system_.readings();
+  const harmony::NodeReading* hottest = nullptr;
+  for (const auto& reading : readings) {
+    if (hottest == nullptr ||
+        peak_utilization(reading) > peak_utilization(*hottest)) {
+      hottest = &reading;
+    }
+  }
+  if (hottest == nullptr) return std::nullopt;
+  return borrow_into(system_.cluster().tier_of(hottest->node_id));
+}
+
+void ReconfigController::on_health_transition(cluster::NodeId id, bool up) {
+  if (!reactive_enabled_ || up) return;
+  const auto tier = system_.cluster().tier_of(id);
+  if (system_.cluster().tier(tier).healthy_count() >= reactive_.min_healthy) {
+    return;
+  }
+  borrow_into(tier);
+}
+
+std::optional<harmony::ReconfigDecision> ReconfigController::borrow_into(
+    cluster::TierKind needy) {
+  if (system_.now() < cooldown_until_) return std::nullopt;
+  // Donor: the least-pressured healthy node outside the needy tier whose
+  // own tier keeps at least one healthy member after the move.
+  const auto readings = system_.readings();
+  const harmony::NodeReading* donor = nullptr;
+  for (const auto& reading : readings) {
+    const auto tier = system_.cluster().tier_of(reading.node_id);
+    if (tier == needy) continue;
+    if (system_.cluster().tier(tier).healthy_count() <= 1) continue;
+    if (system_.move_in_progress(reading.node_id)) continue;
+    if (donor == nullptr ||
+        peak_utilization(reading) < peak_utilization(*donor)) {
+      donor = &reading;
+    }
+  }
+  if (donor == nullptr) return std::nullopt;
+
+  harmony::ReconfigDecision decision;
+  decision.donor_node = donor->node_id;
+  decision.from_tier = static_cast<int>(system_.cluster().tier_of(donor->node_id));
+  decision.to_tier = static_cast<int>(needy);
+  decision.cost_seconds = reactive_.config_cost_seconds;
+  decision.immediate = reactive_.immediate;
+  // No single overloaded node for a tier-level trigger: attribute the
+  // move to the needy tier's hottest healthy member when one exists.
+  decision.overloaded_node = donor->node_id;
+  for (const auto& reading : readings) {
+    if (system_.cluster().tier_of(reading.node_id) == needy) {
+      decision.overloaded_node = reading.node_id;
+      break;
+    }
+  }
+
+  system_.move_node(decision.donor_node, needy, decision.immediate,
+                    common::SimTime::seconds(decision.cost_seconds));
+  system_.note_disturbance();
+  cooldown_until_ = system_.now() + reactive_.cooldown;
+  ++reactive_moves_;
+  moves_.push_back(decision);
   return decision;
 }
 

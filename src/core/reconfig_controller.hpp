@@ -17,12 +17,55 @@ namespace ah::core {
 
 class ReconfigController {
  public:
+  /// Reactive mode: instead of merely refusing unsafe donations at the
+  /// periodic check(), the controller responds to two event-shaped signals
+  /// — a HealthChecker mark-down that leaves a tier under-provisioned, and
+  /// a sustained p95 breach reported via observe_p95() — by borrowing the
+  /// least-loaded healthy node from another tier for the bottleneck role.
+  /// Hysteresis comes from three places: the breach streak (one bad
+  /// window never moves a node), the cooldown between reactive moves, and
+  /// the existing donor guard (never drain a tier's last healthy node).
+  /// This is the MIDDLE control loop: slower than admission control
+  /// (seconds), much faster than the Harmony tuner (whole tuning runs).
+  struct ReactiveOptions {
+    /// p95 above this counts as a breach in observe_p95().
+    common::SimTime p95_target = common::SimTime::millis(800);
+    /// Consecutive breached observations before a borrow.
+    int breach_streak = 3;
+    /// Minimum spacing between reactive moves.
+    common::SimTime cooldown = common::SimTime::seconds(60.0);
+    /// A mark-down that leaves its tier with fewer healthy nodes than this
+    /// triggers a borrow.  The default 1 reacts only to a fully-dead tier;
+    /// capacity-sensitive deployments raise it.
+    std::size_t min_healthy = 1;
+    /// Reactive borrows skip the drain wait: the needy tier is on fire.
+    bool immediate = true;
+    /// Configuration cost F charged for a reactive move (seconds).
+    double config_cost_seconds = 4.0;
+  };
+
   ReconfigController(SystemModel& system, harmony::ReconfigOptions options =
                                               SystemModel::default_reconfig_options());
 
   /// Runs steps 1-5 on the current monitor readings; executes and returns
   /// the decision when one is made.
   std::optional<harmony::ReconfigDecision> check();
+
+  /// Arms reactive mode: installs the health-transition hook on the model
+  /// and accepts observe_p95() reports.  Throws std::logic_error on a
+  /// sharded model (node moves need the single-timeline mode).
+  void enable_reactive(const ReactiveOptions& options);
+  [[nodiscard]] bool reactive_enabled() const { return reactive_enabled_; }
+
+  /// Feeds one measured p95 (typically once per measurement bucket).
+  /// After `breach_streak` consecutive breaches, borrows a node for the
+  /// tier hosting the hottest node.  Returns the executed decision.
+  std::optional<harmony::ReconfigDecision> observe_p95(common::SimTime p95);
+
+  /// Moves executed by reactive triggers (subset of moves()).
+  [[nodiscard]] std::uint64_t reactive_moves() const {
+    return reactive_moves_;
+  }
 
   /// Decisions executed so far.
   [[nodiscard]] const std::vector<harmony::ReconfigDecision>& moves() const {
@@ -34,9 +77,20 @@ class ReconfigController {
   }
 
  private:
+  void on_health_transition(cluster::NodeId id, bool up);
+  /// Borrows the least-loaded healthy node from another tier into `needy`
+  /// (cooldown + donor guard applied).  Returns the executed decision.
+  std::optional<harmony::ReconfigDecision> borrow_into(
+      cluster::TierKind needy);
+
   SystemModel& system_;
   harmony::Reconfigurer reconfigurer_;
   std::vector<harmony::ReconfigDecision> moves_;
+  ReactiveOptions reactive_{};
+  bool reactive_enabled_ = false;
+  int breach_streak_ = 0;
+  common::SimTime cooldown_until_ = common::SimTime::zero();
+  std::uint64_t reactive_moves_ = 0;
 };
 
 }  // namespace ah::core

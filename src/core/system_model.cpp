@@ -170,6 +170,10 @@ webstack::ProxyServer& SystemModel::ensure_proxy(NodeState& state) {
         webstack::ProxyParams{});
     deactivate_unless_current(state, TierKind::kProxy);
     if (fault_tolerance_enabled_) state.proxy->set_resilience(proxy_resilience_);
+    if (admission_enabled_) {
+      state.proxy->set_admission(lines_[state.line].admission.get(),
+                                 overload_config_.shed_mode);
+    }
     if (trace_ != nullptr) state.proxy->set_trace(trace_);
   }
   return *state.proxy;
@@ -455,6 +459,7 @@ void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
       shard.health->set_transition_observer([this](NodeId id, bool up) {
         disturbances_.fetch_add(1, std::memory_order_relaxed);
         common::log_info("health", "node{} marked {}", id, up ? "up" : "down");
+        if (health_hook_) health_hook_(id, up);
       });
       shard.health->start();
     }
@@ -473,6 +478,47 @@ void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
       }
       return total;
     });
+    // Probe-budget and mark-down visibility: how much of the probe budget
+    // is being burnt (failed_probes), how often it is exhausted into a
+    // mark flip (mark_downs/mark_ups), and the durations those flips cost
+    // (downtime_us aggregate + nodes_down level).
+    metrics_.add_counter("health.failed_probes", [this] {
+      std::uint64_t total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->failed_probes();
+      }
+      return total;
+    });
+    metrics_.add_counter("health.mark_downs", [this] {
+      std::uint64_t total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->mark_downs();
+      }
+      return total;
+    });
+    metrics_.add_counter("health.mark_ups", [this] {
+      std::uint64_t total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->mark_ups();
+      }
+      return total;
+    });
+    metrics_.add_counter("health.downtime_us", [this] {
+      common::SimTime total = common::SimTime::zero();
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) {
+          total = total + shard.health->total_downtime();
+        }
+      }
+      return static_cast<std::uint64_t>(total.as_micros());
+    });
+    metrics_.add_gauge("health.nodes_down", [this] {
+      int total = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.health != nullptr) total += shard.health->nodes_down();
+      }
+      return static_cast<double>(total);
+    });
   }
   for (Line& line : lines_) {
     line.frontend->set_hop_timeout(config.hop_timeout);
@@ -483,6 +529,77 @@ void SystemModel::enable_fault_tolerance(const FaultToleranceConfig& config) {
   for (NodeState& state : nodes_) {
     if (state.proxy != nullptr) state.proxy->set_resilience(config.proxy);
   }
+}
+
+void SystemModel::enable_admission_control(const OverloadControlConfig& config) {
+  overload_config_ = config;
+  if (!admission_enabled_) {
+    admission_enabled_ = true;
+    for (std::size_t l = 0; l < lines_.size(); ++l) {
+      Line& line = lines_[l];
+      line.admission = std::make_unique<ctrl::AdmissionController>(
+          *shard_of_line(l).sim, config.admission);
+      // Controller actuations taint measurement windows like faults do —
+      // a window that straddles an admit-fraction change is not a clean
+      // read of the configuration under test.
+      line.admission->set_change_observer(
+          [this](double) { note_disturbance(); });
+      line.admission->start();
+    }
+    // First enable: the ctrl counters join the registry.  Sums are in line
+    // order, so snapshots stay byte-identical at any thread count.
+    metrics_.add_counter("ctrl.admitted", [this] {
+      std::uint64_t total = 0;
+      for (const Line& line : lines_) {
+        if (line.admission != nullptr) total += line.admission->admitted();
+      }
+      return total;
+    });
+    metrics_.add_counter("ctrl.shed", [this] {
+      std::uint64_t total = 0;
+      for (const Line& line : lines_) {
+        if (line.admission != nullptr) total += line.admission->shed();
+      }
+      return total;
+    });
+    metrics_.add_counter("ctrl.ticks", [this] {
+      std::uint64_t total = 0;
+      for (const Line& line : lines_) {
+        if (line.admission != nullptr) total += line.admission->ticks();
+      }
+      return total;
+    });
+    metrics_.add_counter("ctrl.adjustments", [this] {
+      std::uint64_t total = 0;
+      for (const Line& line : lines_) {
+        if (line.admission != nullptr) total += line.admission->adjustments();
+      }
+      return total;
+    });
+    for (std::size_t l = 0; l < lines_.size(); ++l) {
+      ctrl::AdmissionController* controller = lines_[l].admission.get();
+      metrics_.add_gauge(
+          "line" + std::to_string(l) + ".admit_fraction",
+          [controller] { return controller->admit_fraction(); });
+    }
+  } else {
+    for (Line& line : lines_) {
+      if (line.admission != nullptr) {
+        line.admission->set_config(config.admission);
+      }
+    }
+  }
+  for (NodeState& state : nodes_) {
+    if (state.proxy != nullptr) {
+      state.proxy->set_admission(lines_[state.line].admission.get(),
+                                 config.shed_mode);
+    }
+  }
+}
+
+void SystemModel::install_scenario(const sim::ScenarioPlan& plan) {
+  scenario_ = std::make_unique<sim::ScenarioPlan>(plan);
+  install_fault_plan(scenario_->faults);
 }
 
 void SystemModel::install_fault_plan(const sim::FaultPlan& plan) {
@@ -720,6 +837,11 @@ void SystemModel::register_metrics() {
   });
   metrics_.add_counter("proxy.stale_served", [proxy_sum] {
     return proxy_sum(&ProxyStats::stale_served);
+  });
+  metrics_.add_counter("proxy.shed",
+                       [proxy_sum] { return proxy_sum(&ProxyStats::shed); });
+  metrics_.add_counter("proxy.shed_stale", [proxy_sum] {
+    return proxy_sum(&ProxyStats::shed_stale);
   });
 
   const auto app_sum =

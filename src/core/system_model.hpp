@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -43,12 +44,14 @@
 #include "cluster/load_balancer.hpp"
 #include "cluster/network.hpp"
 #include "common/thread_pool.hpp"
+#include "ctrl/admission_controller.hpp"
 #include "harmony/reconfig.hpp"
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/monitor.hpp"
+#include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tpcw/zipf.hpp"
 #include "webstack/app_server.hpp"
@@ -229,6 +232,54 @@ class SystemModel {
   /// plans line-local.
   void install_fault_plan(const sim::FaultPlan& plan);
 
+  /// Installs the fault half of a scenario and keeps the plan around so
+  /// workload layers can pick up its arrival modulation and mix drift
+  /// (Experiment::apply_scenario does both).  Re-installing replaces the
+  /// previous scenario.
+  void install_scenario(const sim::ScenarioPlan& plan);
+  /// The installed scenario, or null.
+  [[nodiscard]] const sim::ScenarioPlan* scenario() const {
+    return scenario_.get();
+  }
+
+  // -- Overload control ---------------------------------------------------
+  /// Feedback-controlled admission at the proxy tier; see
+  /// ctrl::AdmissionController for the control law.  A model that never
+  /// calls enable_admission_control() behaves bit-identically to one
+  /// without the ctrl layer.
+  struct OverloadControlConfig {
+    ctrl::AdmissionController::Config admission{};
+    webstack::ProxyServer::ShedMode shed_mode =
+        webstack::ProxyServer::ShedMode::kServeStale;
+  };
+
+  /// Starts one admission controller per work line (on the line's own
+  /// timeline) and attaches it to every proxy of that line.  Idempotent:
+  /// later calls update the knobs and shed mode in place.
+  void enable_admission_control(const OverloadControlConfig& config);
+  [[nodiscard]] bool admission_control_enabled() const {
+    return admission_enabled_;
+  }
+  /// Line `line`'s admission controller; null until
+  /// enable_admission_control().
+  [[nodiscard]] ctrl::AdmissionController* line_admission(std::size_t line) {
+    return lines_.at(line).admission.get();
+  }
+
+  /// Bumps the disturbance counter (controller actuations taint
+  /// measurement windows exactly like faults and health transitions do).
+  void note_disturbance() {
+    disturbances_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Hook fired on every health mark transition as (node, now_up), after
+  /// the model's own bookkeeping.  Used by core::ReconfigController's
+  /// reactive mode; replace with an empty function to detach.
+  void set_health_transition_hook(
+      std::function<void(cluster::NodeId, bool)> hook) {
+    health_hook_ = std::move(hook);
+  }
+
   /// Kills a node: it stops answering health probes, its active role
   /// refuses new requests, and queued hardware/pool work is dropped
   /// through the existing rejection paths (in-service jobs finish; their
@@ -312,6 +363,8 @@ class SystemModel {
     obs::Histogram frontend_latency;
     obs::Histogram app_hop_latency;
     obs::Histogram db_hop_latency;
+    /// Per-line overload controller (enable_admission_control).
+    std::unique_ptr<ctrl::AdmissionController> admission;
   };
 
   /// One timeline plus the per-timeline services.  Legacy mode has exactly
@@ -367,6 +420,10 @@ class SystemModel {
   bool fault_tolerance_enabled_ = false;
   /// Remembered for roles created after the respective setter ran.
   webstack::ProxyServer::Resilience proxy_resilience_{};
+  bool admission_enabled_ = false;
+  OverloadControlConfig overload_config_{};
+  std::unique_ptr<sim::ScenarioPlan> scenario_;
+  std::function<void(cluster::NodeId, bool)> health_hook_;
   obs::TraceRecorder* trace_ = nullptr;
 };
 

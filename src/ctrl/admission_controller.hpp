@@ -1,0 +1,147 @@
+// Feedback-controlled admission: hold a latency SLO by shedding load.
+//
+// A proportional controller (optionally with a fuzzy deadband, after the
+// response-time regulators of Venkatarama & Sekaran's autonomic e-commerce
+// work) closes the loop between an observed p95 latency and an admit
+// fraction in [min_admit, 1].  Completed-request latencies accumulate in a
+// windowed obs::Histogram; every `period` the controller compares the
+// window's p95 against the target, nudges the admit fraction against the
+// relative error, and resets the window.  The servers consult admit() per
+// request and shed the remainder (fast-fail or serve-stale — the shed
+// policy belongs to the server, not to this controller).
+//
+// This is the FAST control loop of the stack: admission reacts within
+// seconds, reactive reconfiguration (core::ReconfigController) within tens
+// of seconds, and the Harmony parameter tuner across whole measurement
+// iterations.  Separating the timescales is what keeps the three loops from
+// fighting (see DESIGN.md "Control-loop layering").
+//
+// Determinism: admit() hashes the request id against the current threshold
+// — no RNG state, so the admitted subset is a pure function of (ids, salt,
+// fraction) and runs are byte-identical at any thread count.  Everything
+// here lives on one line's timeline; a sharded model gets one controller
+// per work line.
+//
+// Hot path: admit() and observe() run once per request and are
+// allocation-free; the periodic tick() walks histogram pages only.
+#pragma once
+
+#include <cstdint>
+
+#include "common/analysis.hpp"
+#include "common/inline_function.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "obs/histogram.hpp"
+#include "sim/simulator.hpp"
+
+AH_HOT_PATH_FILE;
+
+namespace ah::ctrl {
+
+class AdmissionController {
+ public:
+  struct Config {
+    /// The SLO: window p95 at or below this holds the admit fraction.
+    common::SimTime target_p95 = common::SimTime::millis(500);
+    /// Control period: how often the admit fraction is reconsidered.
+    common::SimTime period = common::SimTime::seconds(1.0);
+    /// Proportional gain on the relative p95 error.
+    double gain = 0.4;
+    /// Largest admit-fraction change per tick (slew limit).
+    double max_step = 0.15;
+    /// Floor of the admit fraction: some traffic always gets through, so
+    /// the controller keeps receiving latency samples to recover on.
+    double min_admit = 0.05;
+    /// Windows with fewer samples are ignored (an idle or fully shed
+    /// window carries no p95 signal).
+    std::uint64_t min_samples = 16;
+    /// Fuzzy band shaping: inside `deadband` relative error the controller
+    /// holds (no actuation on noise); between deadband and `outer_band` it
+    /// applies half gain; beyond, full gain.  `fuzzy = false` is a plain
+    /// proportional controller.
+    bool fuzzy = true;
+    double deadband = 0.10;
+    double outer_band = 0.50;
+    /// Hash salt for the admit decision (per-line variety).
+    std::uint64_t salt = 0x5ca1ab1e;
+  };
+
+  /// Observer fired when the admit fraction actually changes (controller
+  /// actuation — the system model uses it to taint measurement windows).
+  using ChangeFn = common::InlineFunction<void(double), 48,
+                                          common::SboPolicy::kRequired>;
+
+  AdmissionController(sim::Simulator& sim, const Config& config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+  ~AdmissionController();
+
+  /// Begins periodic control ticks (first one `period` from now).
+  void start();
+  /// Stops ticking; the current admit fraction stays in force.
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Updates the knobs in place (target, gain, ...).  The admit fraction
+  /// carries over — reconfiguring the controller is not an amnesty.
+  void set_config(const Config& config);
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  void set_change_observer(ChangeFn observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Per-request admit decision: deterministic hash of the request id
+  /// against the current admit fraction.  Counts the outcome.
+  [[nodiscard]] bool admit(std::uint64_t request_id) {
+    if (threshold_ == kAdmitAll) {
+      ++admitted_;
+      return true;
+    }
+    if (common::mix_seed(request_id, config_.salt) <= threshold_) {
+      ++admitted_;
+      return true;
+    }
+    ++shed_;
+    return false;
+  }
+
+  /// Feeds one completed-request latency into the control window.  Only
+  /// admitted completions belong here: shed responses are cheap by
+  /// construction and would bias the controller into opening up.
+  void observe(common::SimTime latency) {
+    AH_OBS_RECORD_SPAN(&window_, latency);
+  }
+
+  [[nodiscard]] double admit_fraction() const { return fraction_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  /// Ticks that actually moved the admit fraction.
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+  /// Samples in the current (not yet evaluated) window.
+  [[nodiscard]] std::uint64_t window_count() const { return window_.count(); }
+
+ private:
+  static constexpr std::uint64_t kAdmitAll = ~0ull;
+
+  void tick();
+  void set_fraction(double fraction);
+
+  sim::Simulator& sim_;
+  Config config_;
+  obs::Histogram window_;
+  ChangeFn observer_;
+  double fraction_ = 1.0;
+  std::uint64_t threshold_ = kAdmitAll;
+  sim::EventId tick_id_ = 0;
+  bool running_ = false;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace ah::ctrl

@@ -1,8 +1,6 @@
 #include "sim/fault_injector.hpp"
 #include "common/analysis.hpp"
 
-#include <cctype>
-#include <charconv>
 #include <utility>
 
 AH_HOT_PATH_FILE;
@@ -21,167 +19,8 @@ std::string_view fault_kind_name(FaultEvent::Kind kind) {
   return "?";
 }
 
-namespace {
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// Consumes a prefix of `s` parseable as T; false when nothing parses.
-template <typename T>
-bool eat_number(std::string_view& s, T& out) {
-  const char* begin = s.data();
-  const char* end = s.data() + s.size();
-  const auto result = std::from_chars(begin, end, out);
-  if (result.ec != std::errc{}) return false;
-  s.remove_prefix(static_cast<std::size_t>(result.ptr - begin));
-  return true;
-}
-
-/// Node id or `*` wildcard.
-bool eat_node(std::string_view& s, std::uint32_t& out) {
-  if (!s.empty() && s.front() == '*') {
-    out = kFaultAnyNode;
-    s.remove_prefix(1);
-    return true;
-  }
-  return eat_number(s, out);
-}
-
-bool eat_literal(std::string_view& s, std::string_view literal) {
-  if (s.substr(0, literal.size()) != literal) return false;
-  s.remove_prefix(literal.size());
-  return true;
-}
-
-bool fail(std::string* error, std::string_view entry, const char* why) {
-  if (error != nullptr) {
-    *error = "bad fault entry '";
-    error->append(entry);
-    error->append("': ");
-    error->append(why);
-  }
-  return false;
-}
-
-bool parse_entry(std::string_view entry, FaultPlan& plan, std::string* error) {
-  const std::string_view original = entry;
-  const std::size_t colon = entry.find(':');
-  if (colon == std::string_view::npos) {
-    return fail(error, original, "missing ':'");
-  }
-  const std::string_view keyword = trim(entry.substr(0, colon));
-  std::string_view rest = trim(entry.substr(colon + 1));
-
-  if (keyword == "crash" || keyword == "restart") {
-    FaultEvent ev;
-    ev.kind = keyword == "crash" ? FaultEvent::Kind::kCrash
-                                 : FaultEvent::Kind::kRestart;
-    double at = 0.0;
-    if (!eat_node(rest, ev.node) || ev.node == kFaultAnyNode ||
-        !eat_literal(rest, "@") || !eat_number(rest, at) || !rest.empty()) {
-      return fail(error, original, "expected <node>@<seconds>");
-    }
-    ev.at = common::SimTime::seconds(at);
-    plan.events.push_back(ev);
-    return true;
-  }
-
-  if (keyword == "slow") {
-    std::uint32_t node = 0;
-    double t0 = 0.0;
-    double t1 = 0.0;
-    double factor = 0.0;
-    if (!eat_node(rest, node) || node == kFaultAnyNode ||
-        !eat_literal(rest, "@") || !eat_number(rest, t0) ||
-        !eat_literal(rest, "-") || !eat_number(rest, t1) ||
-        !eat_literal(rest, "x") || !eat_number(rest, factor) ||
-        !rest.empty()) {
-      return fail(error, original, "expected <node>@<t0>-<t1>x<factor>");
-    }
-    if (factor < 1.0 || t1 < t0) {
-      return fail(error, original, "factor must be >= 1 and t1 >= t0");
-    }
-    FaultEvent start;
-    start.kind = FaultEvent::Kind::kSlowStart;
-    start.at = common::SimTime::seconds(t0);
-    start.node = node;
-    start.magnitude = factor;
-    FaultEvent stop;
-    stop.kind = FaultEvent::Kind::kSlowEnd;
-    stop.at = common::SimTime::seconds(t1);
-    stop.node = node;
-    plan.events.push_back(start);
-    plan.events.push_back(stop);
-    return true;
-  }
-
-  if (keyword == "link") {
-    std::uint32_t a = 0;
-    std::uint32_t b = 0;
-    double t0 = 0.0;
-    double t1 = 0.0;
-    double drop = 0.0;
-    double delay_ms = 0.0;
-    if (!eat_node(rest, a) || !eat_literal(rest, "-") || !eat_node(rest, b) ||
-        !eat_literal(rest, "@") || !eat_number(rest, t0) ||
-        !eat_literal(rest, "-") || !eat_number(rest, t1) ||
-        !eat_literal(rest, ",drop=") || !eat_number(rest, drop)) {
-      return fail(error, original,
-                  "expected <a>-<b>@<t0>-<t1>,drop=<p>[,delay=<ms>ms]");
-    }
-    if (!rest.empty()) {
-      if (!eat_literal(rest, ",delay=") || !eat_number(rest, delay_ms) ||
-          !eat_literal(rest, "ms") || !rest.empty()) {
-        return fail(error, original, "trailing garbage after drop=");
-      }
-    }
-    if (drop < 0.0 || drop > 1.0 || t1 < t0 || delay_ms < 0.0) {
-      return fail(error, original,
-                  "need 0 <= drop <= 1, delay >= 0, and t1 >= t0");
-    }
-    FaultEvent degrade;
-    degrade.kind = FaultEvent::Kind::kLinkDegrade;
-    degrade.at = common::SimTime::seconds(t0);
-    degrade.node = a;
-    degrade.peer = b;
-    degrade.magnitude = drop;
-    degrade.delay = common::SimTime::seconds(delay_ms / 1000.0);
-    FaultEvent restore;
-    restore.kind = FaultEvent::Kind::kLinkRestore;
-    restore.at = common::SimTime::seconds(t1);
-    restore.node = a;
-    restore.peer = b;
-    plan.events.push_back(degrade);
-    plan.events.push_back(restore);
-    return true;
-  }
-
-  return fail(error, original, "unknown keyword");
-}
-
-}  // namespace
-
-std::optional<FaultPlan> FaultPlan::parse(std::string_view text,
-                                          std::string* error) {
-  FaultPlan plan;
-  while (!text.empty()) {
-    const std::size_t semi = text.find(';');
-    const std::string_view entry =
-        trim(semi == std::string_view::npos ? text : text.substr(0, semi));
-    text = semi == std::string_view::npos ? std::string_view{}
-                                          : text.substr(semi + 1);
-    if (entry.empty()) continue;
-    if (!parse_entry(entry, plan, error)) return std::nullopt;
-  }
-  return plan;
-}
+// FaultPlan::parse lives in scenario.cpp: the fault grammar is the
+// restricted dialect of the scenario grammar, and both share one engine.
 
 void FaultInjector::arm(const FaultPlan& plan, Handler handler) {
   disarm();

@@ -71,8 +71,12 @@ struct FaultPlan {
   [[nodiscard]] bool empty() const { return events.empty(); }
 
   /// Parses the text format documented above.  Returns std::nullopt on
-  /// malformed input; when `error` is non-null it receives a description.
-  /// Window entries (slow, link) expand into start/end event pairs.
+  /// malformed input; when `error` is non-null it receives a description
+  /// with line/column position.  Window entries (slow, link) expand into
+  /// start/end event pairs.  Hardened: entries must be time-sorted, a node
+  /// cannot crash twice without a restart (nor restart uncrashed), and
+  /// slow windows on one node must not overlap.  The scenario superset
+  /// grammar (flash/ramp/diurnal/mix/rack/switch) lives in scenario.hpp.
   static std::optional<FaultPlan> parse(std::string_view text,
                                         std::string* error = nullptr);
 };

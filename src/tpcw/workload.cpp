@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/analysis.hpp"
 
@@ -167,11 +168,34 @@ void Workload::redispatch(Retry* retry) {
 void Workload::browser_think(std::size_t browser_index) {
   if (!running_) return;
   common::Rng& rng = browser_rngs_[browser_index];
+  // Arrival modulation divides the mean think time: factor 3 = a third of
+  // the thinking, three times the offered load.  The division by exactly
+  // 1.0 (identity or no modulation) reproduces the unmodulated draw bit
+  // for bit.
+  double mean_s = config_.think_mean.as_seconds();
+  if (arrival_ != nullptr) mean_s /= arrival_->factor(sim_.now());
   const double think =
-      std::min(rng.exponential(config_.think_mean.as_seconds()),
-               config_.think_cap.as_seconds());
+      std::min(rng.exponential(mean_s), config_.think_cap.as_seconds());
   sim_.schedule(common::SimTime::seconds(think),
                 [this, browser_index] { browser_issue(browser_index); });
+}
+
+void Workload::apply_mix_schedule(
+    const std::vector<sim::MixChange>& changes) {
+  for (const sim::MixChange& change : changes) {
+    const Mix* mix = nullptr;
+    if (change.mix == "browsing") {
+      mix = &Mix::standard(WorkloadKind::kBrowsing);
+    } else if (change.mix == "shopping") {
+      mix = &Mix::standard(WorkloadKind::kShopping);
+    } else if (change.mix == "ordering") {
+      mix = &Mix::standard(WorkloadKind::kOrdering);
+    } else {
+      AH_LINT_ALLOW(hot_path_alloc, "cold setup path: error construction");
+      throw std::invalid_argument("unknown mix in scenario: " + change.mix);
+    }
+    sim_.schedule_at(change.at, [this, mix] { set_mix(mix); });
+  }
 }
 
 }  // namespace ah::tpcw

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "obs/histogram.hpp"
+#include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tpcw/constraints.hpp"
 #include "tpcw/interactions.hpp"
@@ -75,6 +76,21 @@ class Workload {
   /// Swaps the active mix; browsers pick it up on their next interaction.
   void set_mix(const Mix* mix);
 
+  /// Attaches scenario arrival modulation (nullptr detaches): mean think
+  /// time is divided by the modulation factor at each draw, so a 3x flash
+  /// crowd triples the offered interaction rate.  A null or identity
+  /// modulation leaves every think-time draw bit-identical to an
+  /// unmodulated run (x / 1.0 == x exactly).  Not owned; must outlive the
+  /// workload or be detached.
+  void set_arrival_modulation(const sim::ArrivalModulation* arrival) {
+    arrival_ = arrival;
+  }
+
+  /// Schedules the scenario's mix drift: each change swaps to the named
+  /// standard mix ("browsing", "shopping", "ordering") at its time.
+  /// Throws std::invalid_argument on an unknown mix name.
+  void apply_mix_schedule(const std::vector<sim::MixChange>& changes);
+
   /// Attaches a WIRT tracker: successful interactions report their
   /// response time per interaction class (TPC-W clause 5.5 compliance).
   /// Pass nullptr to detach.  Not owned.
@@ -124,6 +140,8 @@ class Workload {
   const Mix* mix_;
   WipsMeter& meter_;
   Config config_;
+  /// Scenario arrival modulation; null = unmodulated.
+  const sim::ArrivalModulation* arrival_ = nullptr;
 
   /// Popularity table: a shared read-only CDF when the config supplies a
   /// matching one, otherwise a privately built copy.  popularity_ points at

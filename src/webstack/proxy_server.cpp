@@ -98,12 +98,17 @@ void ProxyServer::handle(const Request& request, ResponseFn done) {
     done(Response{false, Response::Origin::kError, 0});
     return;
   }
+  if (admission_ != nullptr && !admission_->admit(request.id)) {
+    shed(request, std::move(done));
+    return;
+  }
   ++inflight_;
   ProxyCall* call = calls_.acquire();
   call->self = this;
   call->request = request;
   call->done = std::move(done);
   call->attempt = 0;
+  call->shed = false;
   call->t_enqueue = sim_.now();
   call->t_start = call->t_enqueue;
 
@@ -123,11 +128,18 @@ void ProxyServer::after_lookup(ProxyCall* call) {
     forward_upstream(call);
     return;
   }
-  if (const auto size = mem_cache_.lookup(request.object_id, sim_.now());
-      size >= 0) {
-    ++stats_.mem_hits;
-    serve_from_memory(call);
-    return;
+  // Stale-if-error needs the expired copy to still be there when the
+  // upstream re-fetch fails, but lookup() evicts on expiry.  With
+  // serve-stale on, peek first and only run the evicting lookup() on a
+  // fresh entry; an expired one stays resident for serve_stale().
+  const bool fresh_only = resilience_.serve_stale;
+  if ((!fresh_only || mem_cache_.contains(request.object_id, sim_.now()))) {
+    if (const auto size = mem_cache_.lookup(request.object_id, sim_.now());
+        size >= 0) {
+      ++stats_.mem_hits;
+      serve_from_memory(call);
+      return;
+    }
   }
   if (const auto size = disk_cache_.lookup(request.object_id, sim_.now());
       size >= 0) {
@@ -214,6 +226,35 @@ bool ProxyServer::serve_stale(ProxyCall* call) {
   return true;
 }
 
+void ProxyServer::shed(const Request& request, ResponseFn done) {
+  ++stats_.shed;
+  if (shed_mode_ == ShedMode::kServeStale && request.profile->cacheable) {
+    // Any cached copy, fresh or expired, beats an error page during an
+    // overload — staleness is the price of staying up.
+    const common::Bytes size = mem_cache_.lookup_stale(request.object_id);
+    if (size >= 0) {
+      ++stats_.shed_stale;
+      ++inflight_;
+      ProxyCall* call = calls_.acquire();
+      call->self = this;
+      call->request = request;
+      call->done = std::move(done);
+      call->attempt = 0;
+      call->shed = true;
+      call->t_enqueue = sim_.now();
+      call->t_start = call->t_enqueue;
+      call->response = Response{true, Response::Origin::kProxyMemory, size};
+      const auto copy_cpu = common::SimTime::micros(500 + size / 64);
+      node_.cpu().submit(copy_cpu, [call] { call->self->finish(call); });
+      return;
+    }
+  }
+  // Fast-fail: a deterministic, nearly free rejection.  No CPU is charged
+  // — the point of shedding is that the proxy does NOT spend service
+  // capacity on the rejected request.
+  done(Response{false, Response::Origin::kError, 0});
+}
+
 void ProxyServer::maybe_cache(const Request& request,
                               const Response& response) {
   if (!request.profile->cacheable) return;
@@ -236,6 +277,12 @@ void ProxyServer::finish(ProxyCall* call) {
   AH_OBS_TRACE_SPAN(trace_, call->request.id, obs::Hop::kProxy,
                     node_.name().c_str(), call->t_enqueue, call->t_start,
                     sim_.now());
+  // Close the control loop on admitted completions only: stale-shed
+  // responses skip the full service path and would read as spuriously
+  // fast.
+  if (!call->shed && admission_ != nullptr) {
+    admission_->observe(sim_.now() - call->t_enqueue);
+  }
   // Release the slot before invoking the continuation: `done` may reenter
   // this proxy with a fresh request (retry loops), and the slot must be
   // reusable by then.

@@ -25,6 +25,7 @@
 #include "common/analysis.hpp"
 #include "common/inline_function.hpp"
 #include "common/object_pool.hpp"
+#include "ctrl/admission_controller.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "webstack/lru_cache.hpp"
@@ -56,7 +57,15 @@ class ProxyServer : public Service {
     std::uint64_t errors = 0;
     std::uint64_t upstream_retries = 0;     // re-forwards after an error
     std::uint64_t stale_served = 0;         // degraded-mode cache hits
+    std::uint64_t shed = 0;                 // rejected by admission control
+    std::uint64_t shed_stale = 0;           // shed but served a stale copy
   };
+
+  /// What a request rejected by admission control receives.  kFastFail is
+  /// an immediate deterministic error (cheapest; the client sees it and
+  /// backs off); kServeStale degrades to an expired memory-cache copy when
+  /// one exists, falling back to fast-fail on a stale miss.
+  enum class ShedMode : std::uint8_t { kFastFail, kServeStale };
 
   /// Degraded-mode behaviour when the upstream (application tier) errors.
   /// The defaults — no retries, no stale serving — are behaviour-identical
@@ -90,6 +99,17 @@ class ProxyServer : public Service {
   /// queue wait (handle() to after_lookup()) from service time.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches an admission controller (null detaches): handle() consults
+  /// admit() per request and sheds rejects per `mode`; latencies of
+  /// admitted completions feed back via observe().  Shed responses never
+  /// feed the controller — they are cheap by construction and would bias
+  /// the p95 estimate toward reopening under overload.
+  void set_admission(ctrl::AdmissionController* admission, ShedMode mode) {
+    admission_ = admission;
+    shed_mode_ = mode;
+  }
+  [[nodiscard]] ctrl::AdmissionController* admission() { return admission_; }
+
   void handle(const Request& request, ResponseFn done) override;
 
   [[nodiscard]] cluster::Node& node() { return node_; }
@@ -112,6 +132,9 @@ class ProxyServer : public Service {
     /// Upstream forwards already failed for this request (reset per use —
     /// pool slots are recycled without re-initialisation).
     int attempt = 0;
+    /// Rejected by admission control (stale-shed path): excluded from the
+    /// controller's latency window in finish().
+    bool shed = false;
     /// Trace instants: arrival at the proxy and CPU-grant (service start).
     common::SimTime t_enqueue = common::SimTime::zero();
     common::SimTime t_start = common::SimTime::zero();
@@ -132,6 +155,8 @@ class ProxyServer : public Service {
   bool serve_stale(ProxyCall* call);
   void maybe_cache(const Request& request, const Response& response);
   void finish(ProxyCall* call);
+  /// Admission-reject path: fast-fail or degrade to a stale copy.
+  void shed(const Request& request, ResponseFn done);
 
   sim::Simulator& sim_;
   cluster::Node& node_;
@@ -143,6 +168,8 @@ class ProxyServer : public Service {
   LruCache disk_cache_;
 
   Resilience resilience_;
+  ctrl::AdmissionController* admission_ = nullptr;
+  ShedMode shed_mode_ = ShedMode::kFastFail;
   obs::TraceRecorder* trace_ = nullptr;
   bool active_ = true;
   int inflight_ = 0;

@@ -109,6 +109,46 @@ TEST_F(HealthCheckerTest, StopHaltsProbing) {
   EXPECT_TRUE(checker.node_up(0));  // nobody noticed — probing is off
 }
 
+TEST_F(HealthCheckerTest, ProbeBudgetAndDowntimeAccounting) {
+  // One crash-and-recover cycle, checked against every exported metric:
+  // the failed-probe count (the probe budget being consumed), the
+  // mark-down/mark-up transition tallies, the live nodes_down gauge, and
+  // the aggregate marked-down node-time.
+  HealthChecker checker(sim_, cluster_, fast_config());
+  checker.start();
+  sim_.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(checker.failed_probes(), 0u);
+  EXPECT_EQ(checker.nodes_down(), 0);
+  EXPECT_EQ(checker.total_downtime(), SimTime::zero());
+
+  cluster_.node(1).set_alive(false);
+  sim_.run_until(SimTime::seconds(2.0));
+  ASSERT_FALSE(checker.node_up(1));
+  // mark_down_after = 2 consecutive failures, and every later tick on the
+  // still-dead node keeps failing.
+  EXPECT_GE(checker.failed_probes(), 2u);
+  EXPECT_EQ(checker.mark_downs(), 1u);
+  EXPECT_EQ(checker.mark_ups(), 0u);
+  EXPECT_EQ(checker.nodes_down(), 1);
+  // The window is still open: downtime accrues up to now and keeps
+  // growing while the node stays marked down.
+  const SimTime open_window = checker.total_downtime();
+  EXPECT_GT(open_window, SimTime::zero());
+  sim_.run_until(SimTime::seconds(2.5));
+  EXPECT_GT(checker.total_downtime(), open_window);
+
+  cluster_.node(1).set_alive(true);
+  sim_.run_until(SimTime::seconds(4.0));
+  ASSERT_TRUE(checker.node_up(1));
+  EXPECT_EQ(checker.mark_ups(), 1u);
+  EXPECT_EQ(checker.nodes_down(), 0);
+  // Closed window: the total is frozen once everyone is back up.
+  const SimTime closed = checker.total_downtime();
+  EXPECT_GT(closed, open_window);
+  sim_.run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(checker.total_downtime(), closed);
+}
+
 TEST_F(HealthCheckerTest, CoversNodesAddedMidRun) {
   HealthChecker checker(sim_, cluster_, fast_config());
   checker.start();

@@ -99,7 +99,8 @@ const std::vector<RuleDoc>& docs() {
        "  seed: sim_.schedule(delay, [this] { AH_HOT_ENTRY; tick(); });"},
       {"layering",
        "Project includes must follow the layer DAG: common -> obs/sim -> "
-       "cluster -> webstack -> tpcw, harmony -> common only, core on top. "
+       "ctrl -> cluster -> webstack -> tpcw, harmony -> common only, core "
+       "on top. "
        "Upward or cyclic includes are findings; AH_LAYERING_ALLOW(reason) "
        "on the line above grants a justified exception.",
        "The dependency DAG is what keeps the tuner (harmony) system-"
@@ -108,8 +109,9 @@ const std::vector<RuleDoc>& docs() {
        "  common   -> common\n"
        "  obs      -> obs, common\n"
        "  sim      -> sim, common\n"
+       "  ctrl     -> ctrl, sim, obs, common\n"
        "  cluster  -> cluster, sim, common\n"
-       "  webstack -> webstack, cluster, sim, obs, common\n"
+       "  webstack -> webstack, cluster, ctrl, sim, obs, common\n"
        "  tpcw     -> tpcw, webstack, cluster, sim, obs, common\n"
        "  harmony  -> harmony, common\n"
        "  core     -> (anything)\n"
@@ -278,8 +280,8 @@ bool is_header(const std::filesystem::path& path) {
 /// so fixture trees that mirror the layout resolve the same way).
 std::string layer_of(const std::filesystem::path& path) {
   static const std::set<std::string> kLayers = {
-      "common", "obs", "sim", "cluster", "webstack",
-      "tpcw",   "core", "harmony"};
+      "common", "obs",  "sim",  "ctrl",   "cluster",
+      "webstack", "tpcw", "core", "harmony"};
   std::string layer;
   for (const auto& part : path) {
     if (kLayers.count(part.string()) != 0) layer = part.string();
@@ -293,8 +295,9 @@ bool layer_edge_allowed(const std::string& from, const std::string& to) {
       {"common", {"common"}},
       {"obs", {"obs", "common"}},
       {"sim", {"sim", "common"}},
+      {"ctrl", {"ctrl", "sim", "obs", "common"}},
       {"cluster", {"cluster", "sim", "common"}},
-      {"webstack", {"webstack", "cluster", "sim", "obs", "common"}},
+      {"webstack", {"webstack", "cluster", "ctrl", "sim", "obs", "common"}},
       {"tpcw", {"tpcw", "webstack", "cluster", "sim", "obs", "common"}},
       {"harmony", {"harmony", "common"}},
   };
@@ -440,8 +443,8 @@ void run_layering(const Index& index, const IncludeGraph& includes,
         add_finding(findings, file, line, "layering",
                     "include of '" + index.files[target].rel + "' (layer " +
                         to + ") from layer " + from +
-                        " inverts the layer DAG (common -> obs/sim -> "
-                        "cluster -> webstack -> tpcw; harmony -> common; "
+                        " inverts the layer DAG (common -> obs/sim -> ctrl "
+                        "-> cluster -> webstack -> tpcw; harmony -> common; "
                         "core on top); move the dependency down or "
                         "AH_LAYERING_ALLOW(\"reason\") it");
       }
